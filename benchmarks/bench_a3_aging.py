@@ -1,0 +1,90 @@
+"""A3 (ablation): block-based aging aggregates (paper Section 4.3).
+
+The paper ages LAT aggregates by grouping values into Δ-wide blocks and
+dropping whole blocks, bounding extra storage by 2t/Δ instead of storing
+every value.  This ablation sweeps Δ and reports, per setting: the storage
+(live block count) and the worst-case relative error of the aged COUNT
+against an exact sliding window — quantifying the storage/accuracy
+trade-off the paper's design point picks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AgingSpec, AgingState, aggregate_function
+
+WINDOW = 60.0
+DELTAS = [1.0, 5.0, 15.0, 30.0, 60.0]
+EVENTS = 3000
+HORIZON = 600.0
+
+
+def _event_times(seed: int = 5) -> list[float]:
+    rng = np.random.default_rng(seed)
+    return sorted(float(t) for t in rng.uniform(0, HORIZON, EVENTS))
+
+
+def _exact_window_count(times: list[float], now: float) -> int:
+    return sum(1 for t in times if now - WINDOW < t <= now)
+
+
+def test_a3_aging_storage_accuracy_tradeoff(report, benchmark):
+    times = _event_times()
+    checkpoints = [float(t) for t in range(100, int(HORIZON), 50)]
+
+    def sweep():
+        results = []
+        for delta in DELTAS:
+            spec = AgingSpec(window=WINDOW, delta=delta)
+            state = AgingState(aggregate_function("COUNT"), spec)
+            max_blocks = 0
+            worst_err = 0.0
+            index = 0
+            for checkpoint in checkpoints:
+                while index < len(times) and times[index] <= checkpoint:
+                    state.update(1.0, times[index])
+                    index += 1
+                max_blocks = max(max_blocks, state.block_count)
+                aged = state.result(checkpoint)
+                exact = _exact_window_count(times[:index], checkpoint)
+                if exact:
+                    worst_err = max(worst_err, abs(aged - exact) / exact)
+            results.append((delta, max_blocks, spec.max_blocks, worst_err))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "A3: aging-aggregate storage/accuracy trade-off "
+        f"(window t={WINDOW:.0f}s, {EVENTS} events)",
+        f"{'delta':>7} {'blocks':>7} {'bound 2t/d':>11} {'worst err':>10}",
+    ]
+    for delta, blocks, bound, err in results:
+        lines.append(f"{delta:7.1f} {blocks:7d} {bound:11d} {err:9.1%}")
+    report(*lines)
+
+    for delta, blocks, bound, err in results:
+        assert blocks <= bound  # the paper's storage bound holds
+        # error bounded by one block's worth of the window
+        assert err <= delta / WINDOW + 0.35
+    # finer blocks → more storage, less error (monotone trade-off)
+    block_counts = [blocks for __, blocks, __, __ in results]
+    errors = [err for __, __, __, err in results]
+    assert block_counts[0] > block_counts[-1]
+    assert errors[0] <= errors[-1]
+
+
+def test_a3_aging_update_wall_time(benchmark):
+    spec = AgingSpec(window=WINDOW, delta=5.0)
+    state = AgingState(aggregate_function("AVG"), spec)
+    times = _event_times()
+
+    def run():
+        for i, t in enumerate(times):
+            state.update(float(i % 100), t)
+        return state.result(times[-1])
+
+    result = benchmark(run)
+    assert result is not None

@@ -1,0 +1,115 @@
+"""E1 (Section 6.2.1): overhead of signature computation.
+
+Paper finding: signature computation, measured relative to total
+*optimization* time, costs 0.5% for single-line selections without
+conditions and falls to 0.011% for complex TPC-H queries — i.e. the
+relative cost *decreases* with query complexity, because optimizer search
+grows much faster than the linear tree linearization.
+
+This bench compiles a suite of queries of increasing complexity and
+reports, per query: the virtual optimization cost, the virtual signature
+cost, and their ratio.  pytest-benchmark additionally times the Python
+signature computation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_server
+from repro.core.signatures import (linearize_logical, linearize_physical,
+                                   digest)
+from repro.engine.planner.logical import build_logical_plan, walk_logical
+from repro.engine.planner.physical import plan_node_count, walk_physical
+from repro.engine.sqlparse.parser import parse_statement
+
+# complexity ladder: trivial selection → multi-join aggregate
+QUERY_SUITE = [
+    ("single-row selection, no condition",
+     "SELECT l_extendedprice FROM lineitem"),
+    ("single-row point selection",
+     "SELECT l_extendedprice FROM lineitem "
+     "WHERE l_orderkey = 5 AND l_linenumber = 1"),
+    ("selection with 4 predicates",
+     "SELECT l_extendedprice, l_quantity FROM lineitem "
+     "WHERE l_orderkey > 10 AND l_quantity > 5 AND l_discount < 0.05 "
+     "AND l_partkey = 17"),
+    ("2-table join",
+     "SELECT l.l_extendedprice, o.o_totalprice FROM lineitem l "
+     "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+     "WHERE o.o_totalprice > 1000"),
+    ("3-table join with aggregation (TPC-H style)",
+     "SELECT o.o_orderstatus, COUNT(*), SUM(l.l_extendedprice), "
+     "AVG(p.p_retailprice) FROM lineitem l "
+     "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+     "JOIN part p ON l.l_partkey = p.p_partkey "
+     "WHERE l.l_quantity > 10 AND o.o_totalprice > 500 "
+     "GROUP BY o.o_orderstatus ORDER BY COUNT(*) DESC"),
+]
+
+
+def _compile_costs(server, sql: str) -> tuple[float, float]:
+    """(virtual optimization cost, virtual signature cost) for one query."""
+    costs = server.costs
+    stmt = parse_statement(sql)
+    logical = build_logical_plan(stmt, server.catalog)
+    physical = server.optimizer.optimize(logical)
+    nodes = plan_node_count(physical)
+    joins = sum(1 for n in walk_physical(physical)
+                if type(n).__name__ in ("PhysHashJoin", "PhysNLJoin"))
+    optimize_cost = (costs.optimize_base + costs.optimize_per_node * nodes
+                     + costs.optimize_search_per_join * (2 ** joins - 1))
+    logical_nodes = sum(1 for __ in walk_logical(logical))
+    signature_cost = costs.signature_per_node * (logical_nodes + nodes)
+    # sanity: the signatures actually compute
+    assert digest(linearize_logical(logical))
+    assert digest(linearize_physical(physical))
+    return optimize_cost, signature_cost
+
+
+def test_e1_signature_overhead_table(report, benchmark):
+    server, __ = build_server()
+    lines = [
+        "E1: signature computation relative to optimization time",
+        f"{'query':<48} {'optimize':>10} {'signature':>10} {'ratio':>8}",
+    ]
+    ratios = []
+
+    def run_suite():
+        return [(name,) + _compile_costs(server, sql)
+                for name, sql in QUERY_SUITE]
+
+    suite_costs = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    for name, optimize_cost, signature_cost in suite_costs:
+        ratio = 100.0 * signature_cost / optimize_cost
+        ratios.append(ratio)
+        lines.append(
+            f"{name:<48} {optimize_cost * 1e3:9.2f}ms "
+            f"{signature_cost * 1e6:8.1f}us {ratio:7.3f}%"
+        )
+    lines.append(
+        f"paper: 0.5% (trivial) .. 0.011% (complex); "
+        f"measured: {ratios[0]:.3f}% .. {ratios[-1]:.3f}%"
+    )
+    report(*lines)
+    # the paper's shape: small everywhere, decreasing with complexity
+    assert ratios[0] < 2.0
+    assert ratios[-1] < ratios[0] / 5
+    assert ratios[-1] < 0.1
+
+
+@pytest.mark.parametrize("name,sql", QUERY_SUITE,
+                         ids=[n for n, __ in QUERY_SUITE])
+def test_e1_signature_wall_time(benchmark, name, sql):
+    """Wall time of the actual linearization+digest per query."""
+    server, __ = build_server()
+    stmt = parse_statement(sql)
+    logical = build_logical_plan(stmt, server.catalog)
+    physical = server.optimizer.optimize(logical)
+
+    def compute():
+        return (digest(linearize_logical(logical)),
+                digest(linearize_physical(physical)))
+
+    logical_sig, physical_sig = benchmark(compute)
+    assert len(logical_sig) == 20 and len(physical_sig) == 20

@@ -1,0 +1,117 @@
+"""E2 (Figure 2): overhead of rule evaluation and LAT maintenance.
+
+Paper setup: 10,000 short single-row clustered-index selects on lineitem;
+100-1000 rules, *all* evaluated on every query, each with 1-20 atomic
+conditions and each maintaining its own fixed-size in-memory LAT storing
+all attributes (incl. query text) of the last 10 queries seen, indexed by
+signature id.
+
+Paper findings: overhead < 4% even at 1000 rules × 20 conditions; overhead
+scales with the number of rules; condition complexity has little impact —
+LAT maintenance is the biggest factor.
+
+This bench reruns the grid at 1/20 of the query count (percentages are
+per-query ratios, so the workload length cancels out) and prints the
+Figure 2 matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_server, run_workload
+from repro import InsertAction, LATDefinition, Rule, SQLCM
+
+SHORT_QUERIES = 300
+RULE_COUNTS = [100, 250, 500, 1000]
+CONDITION_COUNTS = [1, 5, 10, 20]
+
+
+def _install_rules(sqlcm: SQLCM, n_rules: int, n_conditions: int) -> None:
+    """The paper's E2 monitoring load: per-rule conditions + per-rule LAT
+    keeping the last 10 queries' attributes, keyed by query id."""
+    for i in range(n_rules):
+        sqlcm.create_lat(LATDefinition(
+            name=f"E2_LAT_{i}",
+            monitored_class="Query",
+            grouping=["Query.ID AS Qid"],
+            aggregations=[
+                "LAST(Query.Query_Text) AS Text",
+                "LAST(Query.Duration) AS Duration",
+                "LAST(Query.Estimated_Cost) AS Cost",
+                "LAST(Query.Query_Type) AS Qtype",
+            ],
+            ordering=["Qid DESC"],  # keep the 10 most recent
+            max_rows=10,
+        ))
+        condition = " AND ".join(
+            [f"Query.Duration >= {j * -1.0}" for j in range(n_conditions)]
+        )
+        sqlcm.add_rule(Rule(
+            name=f"e2_rule_{i}",
+            event="Query.Commit",
+            condition=condition,
+            actions=[InsertAction(f"E2_LAT_{i}")],
+        ))
+
+
+def _elapsed(n_rules: int, n_conditions: int) -> float:
+    server, counts = build_server(track_completed=False)
+    if n_rules:
+        sqlcm = SQLCM(server)
+        _install_rules(sqlcm, n_rules, n_conditions)
+    return run_workload(server, counts, short=SHORT_QUERIES, joins=0)
+
+
+def test_e2_rule_overhead_grid(report, benchmark):
+    results: dict[tuple[int, int], float] = {}
+
+    def run_grid():
+        base = _elapsed(0, 0)
+        for rules in RULE_COUNTS:
+            for conditions in CONDITION_COUNTS:
+                elapsed = _elapsed(rules, conditions)
+                results[(rules, conditions)] = \
+                    100.0 * (elapsed - base) / base
+        return base
+
+    base = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    lines = [
+        "E2 (Figure 2): workload overhead (%) from rule evaluation + LAT "
+        "maintenance",
+        f"baseline: {SHORT_QUERIES} short selects in {base:.3f}s virtual",
+        f"{'rules':>6} | " + " ".join(f"{c:>7}c" for c in CONDITION_COUNTS),
+    ]
+    for rules in RULE_COUNTS:
+        row = " ".join(f"{results[(rules, c)]:7.2f}%"
+                       for c in CONDITION_COUNTS)
+        lines.append(f"{rules:>6} | {row}")
+    worst = max(results.values())
+    lines.append(f"paper: < 4% at 1000 rules x 20 conditions; "
+                 f"measured worst: {worst:.2f}%")
+    report(*lines)
+
+    # Figure 2's three findings
+    assert worst < 4.0
+    for conditions in CONDITION_COUNTS:  # overhead grows with rule count
+        assert results[(100, conditions)] < results[(1000, conditions)]
+    # condition complexity is a smaller factor than rule count
+    complexity_spread = results[(1000, 20)] - results[(1000, 1)]
+    rule_spread = results[(1000, 1)] - results[(100, 1)]
+    assert complexity_spread < rule_spread
+
+
+def test_e2_single_rule_eval_wall_time(benchmark):
+    """Wall time of one event dispatch through 100 rules (the hot path)."""
+    server, counts = build_server(track_completed=False)
+    sqlcm = SQLCM(server)
+    _install_rules(sqlcm, 100, 5)
+    session = server.create_session()
+    session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+
+    def one_query():
+        session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+
+    benchmark(one_query)
+    assert sqlcm.rule_firings > 0

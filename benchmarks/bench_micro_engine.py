@@ -1,0 +1,97 @@
+"""Engine micro-benchmarks: the hot paths under every experiment.
+
+Wall-time (pytest-benchmark) measurements of the substrate operations whose
+virtual costs the experiments charge: point selects through the full
+pipeline, DML, lock acquisition, condition evaluation, and event dispatch
+with an attached SQLCM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_server
+from repro import Rule, SQLCM
+from repro.core.actions import CallbackAction
+from repro.core.condition import bind_condition
+from repro.core.objects import MonitoredObject
+from repro.core.schema import SCHEMA
+from repro.engine.locks import LockManager
+from repro.sim import SimClock
+
+
+def test_micro_point_select(benchmark):
+    server, __ = build_server(track_completed=False)
+    session = server.create_session()
+    sql = "SELECT o_totalprice FROM orders WHERE o_orderkey = 7"
+    session.execute(sql)  # warm plan cache
+
+    benchmark(lambda: session.execute(sql))
+
+
+def test_micro_point_update(benchmark):
+    server, __ = build_server(track_completed=False)
+    session = server.create_session()
+    sql = "UPDATE orders SET o_totalprice = o_totalprice + 1 " \
+          "WHERE o_orderkey = 7"
+    session.execute(sql)
+
+    benchmark(lambda: session.execute(sql))
+
+
+def test_micro_range_join(benchmark):
+    server, __ = build_server(track_completed=False)
+    session = server.create_session()
+    sql = ("SELECT l.l_extendedprice, o.o_totalprice FROM lineitem l "
+           "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+           "WHERE l.l_orderkey BETWEEN 100 AND 140")
+    session.execute(sql)
+
+    result = benchmark(lambda: session.execute(sql))
+    assert result.rows
+
+
+def test_micro_lock_grant_release(benchmark):
+    locks = LockManager(SimClock())
+
+    def cycle():
+        for i in range(100):
+            locks.request(1, ("row", "t", i), "X")
+        locks.release_all(1)
+
+    benchmark(cycle)
+
+
+def test_micro_condition_eval(benchmark):
+    compiled = bind_condition(
+        "Query.Duration > 5 * Query.Estimated_Cost AND "
+        "Query.Times_Blocked = 0 AND Query.Query_Type = 'SELECT'",
+        SCHEMA, set(), lambda name: set(),
+    )
+    obj = MonitoredObject(SCHEMA.monitored_class("Query"), {}, {
+        "duration": 10.0, "estimated_cost": 1.0, "times_blocked": 0,
+        "query_type": "SELECT",
+    })
+    context = {"query": obj}
+
+    def evaluate():
+        return compiled.evaluate(context, {})
+
+    assert benchmark(evaluate) is True
+
+
+def test_micro_event_dispatch_with_sqlcm(benchmark):
+    server, __ = build_server(track_completed=False)
+    sqlcm = SQLCM(server)
+    hits = []
+    sqlcm.add_rule(Rule(
+        name="r", event="Query.Commit",
+        condition="Query.Duration >= 0",
+        actions=[CallbackAction(lambda s, c: hits.append(1))],
+    ))
+    session = server.create_session()
+    sql = "SELECT o_totalprice FROM orders WHERE o_orderkey = 3"
+    session.execute(sql)
+
+    benchmark(lambda: session.execute(sql))
+    assert hits

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Example 2 from the paper: detecting poor blocking behaviour.
+
+Several applications hammer the same hot rows; the BlockingAnalyzer's
+``Query.Block_Released`` rule accumulates, per blocking statement template,
+the total delay it imposed on other statements.  A watchdog timer cancels
+anything blocked for too long (resource governing, Example 5 flavor).
+
+Run:  python examples/blocking_hotspots.py
+"""
+
+from repro import CancelAction, DatabaseServer, Rule, SQLCM, Statement
+from repro.apps import BlockingAnalyzer
+
+
+def main() -> None:
+    server = DatabaseServer()
+    server.execute_ddl(
+        "CREATE TABLE inventory (sku INT NOT NULL PRIMARY KEY, "
+        "stock INT, reserved INT)"
+    )
+    loader = server.create_session()
+    loader.execute("INSERT INTO inventory VALUES " + ", ".join(
+        f"({i}, 100, 0)" for i in range(1, 51)))
+
+    sqlcm = SQLCM(server)
+    analyzer = BlockingAnalyzer(sqlcm)
+
+    # a long-running "batch job" holds hot-row locks inside transactions
+    batch = server.create_session(user="batch", application="nightly-job")
+    batch_script = []
+    for round_no in range(5):
+        batch_script += [
+            "BEGIN",
+            "UPDATE inventory SET stock = stock - 1 WHERE sku = 1",
+            "UPDATE inventory SET stock = stock - 1 WHERE sku = 2",
+            Statement("COMMIT", think_time=1.2),  # long-held locks
+        ]
+    batch.submit_script(batch_script)
+
+    # interactive users keep touching the same hot rows
+    for user_no in range(4):
+        user = server.create_session(user=f"user{user_no}",
+                                     application="storefront")
+        script = []
+        for i in range(12):
+            sku = 1 + (i + user_no) % 3
+            script.append(Statement(
+                f"SELECT stock FROM inventory WHERE sku = {sku}",
+                think_time=0.35,
+            ))
+        user.submit_script(script)
+
+    # watchdog: cancel anything blocked longer than 5 seconds
+    sqlcm.add_rule(Rule(
+        name="blocked_too_long",
+        event="Timer.Alert",
+        condition="Blocked.Wait_Time > 5.0",
+        actions=[CancelAction(target="Blocked")],
+    ))
+    sqlcm.set_timer("watchdog", interval=1.0, repeats=-1)
+
+    server.run(until=30.0)
+
+    print("statements causing the largest total blocking delay:")
+    print(f"{'total delay':>12}  {'conflicts':>9}  statement")
+    for row in analyzer.worst_blockers():
+        print(f"{row['Total_Block_Delay']:11.2f}s  "
+              f"{row['Conflicts']:9d}  {row['Sample_Text'][:58]}")
+
+
+if __name__ == "__main__":
+    main()

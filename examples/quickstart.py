@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: embed SQLCM in a server and monitor a workload.
+
+Builds a small TPC-H-style database, registers the paper's Section 2.3 rule
+(persist any query slower than a threshold at commit) plus a per-template
+duration LAT, runs a mixed workload, and prints what SQLCM captured.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (DatabaseServer, InsertAction, LATDefinition,
+                   PersistAction, Rule, ServerConfig, SQLCM)
+from repro.workloads import TPCHConfig, WorkloadMix, mixed_paper_workload
+from repro.workloads.generator import lineitem_key_sample
+from repro.workloads.tpch import setup_tpch
+
+
+def main() -> None:
+    # 1. a database server on a virtual clock
+    server = DatabaseServer(ServerConfig(track_completed_queries=True))
+    counts = setup_tpch(server, TPCHConfig().scaled(0.05))
+    print(f"loaded TPC-H-lite: {counts}")
+
+    # 2. attach SQLCM and declare monitoring
+    sqlcm = SQLCM(server)
+    sqlcm.create_lat(LATDefinition(
+        name="Duration_LAT",
+        monitored_class="Query",
+        grouping=["Query.Logical_Signature AS Sig"],
+        aggregations=[
+            "AVG(Query.Duration) AS Avg_Duration",
+            "COUNT(Query.ID) AS Instances",
+            "FIRST(Query.Query_Text) AS Sample",
+        ],
+        ordering=["Avg_Duration DESC"],
+        max_rows=100,
+    ))
+    sqlcm.add_rule(Rule(
+        name="track_templates",
+        event="Query.Commit",
+        actions=[InsertAction("Duration_LAT")],
+    ))
+    # the paper's example rule: persist slow queries when they commit
+    sqlcm.add_rule(Rule(
+        name="slow_queries",
+        event="Query.Commit",
+        condition="Query.Duration > 0.02",
+        actions=[PersistAction("slow_query_log",
+                               ["ID", "Query_Text", "Duration"],
+                               source="Query")],
+    ))
+
+    # 3. run a workload: short point queries + a few expensive joins
+    keys = lineitem_key_sample(server, 100)
+    statements = mixed_paper_workload(
+        WorkloadMix(short_queries=300, join_queries=5,
+                    join_rows_low=100, join_rows_high=200),
+        orders_rows=counts["orders"],
+        lineitem_rows=counts["lineitem"],
+        lineitem_keys=keys,
+    )
+    session = server.create_session(application="quickstart")
+    session.submit_script(statements)
+    server.run()
+    print(f"executed {len(statements)} statements "
+          f"in {server.clock.now:.2f} virtual seconds")
+
+    # 4. what did SQLCM see?
+    print("\ntop query templates by average duration:")
+    for row in sqlcm.lat("Duration_LAT").rows()[:5]:
+        print(f"  {row['Avg_Duration'] * 1e3:8.2f} ms avg  "
+              f"x{row['Instances']:<5} {row['Sample'][:60]}")
+
+    if server.catalog.has_table("slow_query_log"):
+        slow = server.table("slow_query_log")
+        print(f"\n{slow.row_count} slow queries persisted to slow_query_log:")
+        for __, row in slow.scan():
+            print(f"  query {row[0]}: {row[2] * 1e3:.1f} ms  {row[1][:60]}")
+    else:
+        print("\nno queries exceeded the slow-query threshold")
+
+
+if __name__ == "__main__":
+    main()

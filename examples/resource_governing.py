@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Example 5 from the paper: resource governing from inside the server.
+
+Two policies run without any DBA in the loop:
+
+* a watchdog timer cancels *runaway* queries (here: queries stuck behind a
+  lock far beyond their budget), and
+* a per-user MPL limit rejects a user's queries beyond K concurrent.
+
+Run:  python examples/resource_governing.py
+"""
+
+from repro import DatabaseServer, SQLCM, Statement
+from repro.apps import ResourceGovernor
+
+
+def main() -> None:
+    server = DatabaseServer()
+    server.execute_ddl(
+        "CREATE TABLE jobs (id INT NOT NULL PRIMARY KEY, state VARCHAR(10))"
+    )
+    loader = server.create_session()
+    loader.execute("INSERT INTO jobs VALUES " + ", ".join(
+        f"({i}, 'ready')" for i in range(1, 21)))
+
+    sqlcm = SQLCM(server)
+    governor = ResourceGovernor(
+        sqlcm,
+        runaway_budget=2.0,      # cancel queries running > 2s
+        watchdog_interval=0.5,
+        max_concurrent=1,        # each user: at most 1 query at a time
+        exempt_users=("dbo", "batch"),
+    )
+
+    # a batch job wedges a row for 30 seconds
+    batch = server.create_session(user="batch")
+    batch.submit_script([
+        "BEGIN",
+        "UPDATE jobs SET state = 'run' WHERE id = 1",
+        Statement("COMMIT", think_time=30.0),
+    ])
+
+    # dave's first query gets stuck behind the batch lock (runaway);
+    # his second one violates the MPL limit while the first still runs
+    dave_a = server.create_session(user="dave")
+    dave_b = server.create_session(user="dave")
+    dave_a.submit_script([
+        Statement("SELECT state FROM jobs WHERE id = 1", think_time=0.2),
+    ])
+    dave_b.submit_script([
+        Statement("SELECT state FROM jobs WHERE id = 2", think_time=0.6),
+    ])
+
+    server.run(until=40.0)
+
+    print(f"runaway queries cancelled: {governor.stats.runaway_cancelled}")
+    print(f"MPL rejections:            {governor.stats.mpl_rejected} "
+          f"{governor.stats.rejected_users}")
+    for name, session in (("dave_a", dave_a), ("dave_b", dave_b)):
+        result = session.results[-1]
+        outcome = "ok" if result.ok else f"cancelled ({result.error[:40]}...)"
+        print(f"  {name}: {outcome}")
+
+
+if __name__ == "__main__":
+    main()

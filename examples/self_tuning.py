@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Self-tuning from inside the server (Sections 2.1, 3 and 7).
+
+The paper's closing argument is that a server-side monitor enables actions
+that *adjust server behaviour without DBA intervention*. Three such loops,
+all built on public SQLCM rules:
+
+* **StatsCorrector** — watches optimizer cardinality estimates drift away
+  from actual row counts per template and requests a statistics refresh
+  (the "automatically correcting database statistics" example).
+* **AdaptiveMPLGovernor** — tunes the allowed multi-programming level up
+  and down based on recent blocking delay (Example 5c).
+* **LoginAuditor** — counts login failures per user in an aging window and
+  alerts the DBA past a threshold (Example 4b).
+
+Run:  python examples/self_tuning.py
+"""
+
+from repro import DatabaseServer, ServerConfig, SQLCM, Statement
+from repro.apps import AdaptiveMPLGovernor, LoginAuditor, StatsCorrector
+from repro.errors import EngineError
+from repro.workloads import TPCHConfig
+from repro.workloads.tpch import setup_tpch
+
+
+def main() -> None:
+    server = DatabaseServer(ServerConfig(track_completed_queries=True))
+    counts = setup_tpch(server, TPCHConfig().scaled(0.05))
+    sqlcm = SQLCM(server)
+
+    # --- statistics drift ---------------------------------------------------
+    corrector = StatsCorrector(sqlcm, drift_factor=3.0, min_instances=5)
+    session = server.create_session(user="app")
+    # a template whose optimizer estimate is badly off: multi-predicate
+    # filter that actually matches nearly everything
+    for __ in range(6):
+        session.execute(
+            "SELECT l_orderkey FROM lineitem "
+            "WHERE l_quantity > 0 AND l_extendedprice > 0 "
+            "AND l_discount >= 0 AND l_partkey > 0")
+    print(f"statistics refresh requests: {len(corrector.refresh_requests)}")
+    for request in corrector.refresh_requests:
+        print(f"  -> update-statistics for: {request[:60]}...")
+
+    # --- adaptive MPL ---------------------------------------------------------
+    governor = AdaptiveMPLGovernor(
+        sqlcm, initial_mpl=4, min_mpl=1, max_mpl=8,
+        control_interval=1.0, low_blocking=0.05, high_blocking=0.5)
+    # phase 1: a lock hotspot drives blocking up → MPL tightens
+    writer = server.create_session(user="batch")
+    writer.submit_script([
+        "BEGIN",
+        "UPDATE orders SET o_totalprice = 0 WHERE o_orderkey = 1",
+        Statement("COMMIT", think_time=3.0),
+    ])
+    for i in range(3):
+        reader = server.create_session(user=f"reader{i}")
+        reader.submit_script([
+            Statement("SELECT o_totalprice FROM orders WHERE o_orderkey = 1",
+                      think_time=0.2 * (i + 1)),
+        ])
+    server.run(until=8.0)
+    # phase 2: quiet system → MPL relaxes again
+    server.run(until=40.0)
+    print(f"\nMPL adjustments over time (initial 4): "
+          f"{[(round(t, 1), m) for t, m in governor.adjustments]}")
+    print(f"current MPL: {governor.mpl}")
+
+    # --- login-failure auditing ---------------------------------------------
+    server.set_authenticator(
+        lambda user, cred: cred == "correct-horse-battery-staple")
+    auditor = LoginAuditor(sqlcm, alert_threshold=3, window=3600.0)
+    for attempt in range(4):
+        try:
+            server.create_session(user="mallory", credential=f"guess{attempt}")
+        except EngineError:
+            pass
+    print(f"\nlogin failures by user: "
+          f"{[(r['Login'], r['Failures']) for r in auditor.failures()]}")
+    print(f"DBA alerts sent: {len(auditor.alerts())}")
+    if auditor.alerts():
+        print(f"  latest: {auditor.alerts()[-1].body}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Example 3 / Figure 3 in miniature: four ways to find the top-k queries.
+
+Runs the same workload under (a) no monitoring, (b) SQLCM's top-k LAT,
+(c) synchronous query logging, (d) snapshot polling, and (e) history
+polling — then reports each approach's overhead and how many of the true
+top-10 it missed.  The full-size experiment is
+``benchmarks/bench_e3_approaches.py``.
+
+Run:  python examples/topk_comparison.py
+"""
+
+from repro import DatabaseServer, ServerConfig, SQLCM
+from repro.apps import TopKTracker
+from repro.monitoring import (PullHistoryMonitor, PullMonitor,
+                              QueryLoggingMonitor, missed_top_k,
+                              top_k_ground_truth)
+from repro.workloads import TPCHConfig, WorkloadMix, mixed_paper_workload
+from repro.workloads.generator import lineitem_key_sample
+from repro.workloads.tpch import setup_tpch
+
+K = 10
+
+
+def build_and_run(monitor_factory=None):
+    """Fresh server + identical workload; returns (elapsed, truth, answer)."""
+    server = DatabaseServer(ServerConfig(track_completed_queries=True))
+    counts = setup_tpch(server, TPCHConfig().scaled(0.05))
+    monitor = monitor_factory(server) if monitor_factory else None
+
+    keys = lineitem_key_sample(server, 100)
+    statements = mixed_paper_workload(
+        WorkloadMix(short_queries=400, join_queries=15,
+                    join_rows_low=100, join_rows_high=200),
+        orders_rows=counts["orders"],
+        lineitem_rows=counts["lineitem"],
+        lineitem_keys=keys,
+    )
+    session = server.create_session(application="workload")
+    start = server.clock.now
+    proc = session.submit_script(statements)
+    # run until the workload finishes (pollers loop until stopped)
+    server.scheduler.run_until_done(proc)
+    if monitor is not None and hasattr(monitor, "stop"):
+        monitor.stop()
+    elapsed = server.clock.now - start
+    truth = top_k_ground_truth(server, K, exclude_apps=("query_logging",
+                                                        "loader"))
+    answer = monitor.top_k(K) if monitor is not None else []
+    return elapsed, truth, answer
+
+
+def main() -> None:
+    base, __, __ = build_and_run()
+    print(f"baseline (no monitoring): {base:.3f}s virtual\n")
+    print(f"{'approach':<22} {'overhead':>9} {'missed of top-10':>17}")
+
+    def sqlcm_factory(server):
+        return TopKTracker(SQLCM(server), k=K)
+
+    rows = [
+        ("SQLCM", sqlcm_factory),
+        ("Query_logging", lambda s: QueryLoggingMonitor(s)),
+        ("PULL 1s", lambda s: _started(PullMonitor(s, 1.0))),
+        ("PULL 5s", lambda s: _started(PullMonitor(s, 5.0))),
+        ("PULL_history 5s", lambda s: _started(PullHistoryMonitor(s, 5.0))),
+    ]
+    for name, factory in rows:
+        elapsed, truth, answer = build_and_run(factory)
+        overhead = 100.0 * (elapsed - base) / base
+        missed = missed_top_k(truth, answer)
+        print(f"{name:<22} {overhead:8.2f}% {missed:17d}")
+
+
+def _started(monitor):
+    monitor.start()
+    return monitor
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-use-pep517`` work in offline environments
+whose setuptools predates the vendored bdist_wheel (PEP 660 editable
+installs need the ``wheel`` package there). All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""The paper's Section 3 example applications, built on the public API.
+
+Each class wires up the LATs and ECA rules for one DBA task:
+
+* :class:`OutlierDetector` — Example 1: detect stored-procedure/template
+  invocations much slower than their running average.
+* :class:`BlockingAnalyzer` — Example 2: total blocking delay caused per
+  statement template.
+* :class:`TopKTracker` — Example 3: the k most expensive queries.
+* :class:`UsageAuditor` — Example 4: per-template/app/user usage summaries
+  persisted periodically by a timer.
+* :class:`ResourceGovernor` — Example 5: runaway-query cancellation and
+  per-user concurrency (MPL) limits.
+"""
+
+from repro.apps.auditing import LoginAuditor, UsageAuditor
+from repro.apps.blocking import BlockingAnalyzer
+from repro.apps.outliers import OutlierDetector
+from repro.apps.resource_governor import (AdaptiveMPLGovernor,
+                                          ResourceGovernor)
+from repro.apps.stats_corrector import StatsCorrector
+from repro.apps.topk import TopKTracker
+
+__all__ = [
+    "OutlierDetector",
+    "BlockingAnalyzer",
+    "TopKTracker",
+    "UsageAuditor",
+    "LoginAuditor",
+    "ResourceGovernor",
+    "AdaptiveMPLGovernor",
+    "StatsCorrector",
+]

@@ -1,0 +1,207 @@
+"""Interactive shell: a tiny ``sqlcmd``-style client for the engine + SQLCM.
+
+Run ``python -m repro`` for an interactive session, or pipe a script::
+
+    echo "CREATE TABLE t (a INT PRIMARY KEY, b FLOAT);
+          INSERT INTO t VALUES (1, 2.0);
+          SELECT * FROM t;" | python -m repro
+
+Besides SQL, the shell understands monitoring meta-commands:
+
+=====================  ======================================================
+``.lats``              list LATs and their row counts
+``.lat NAME``          print a LAT's rows
+``.rules``             list rules with fire statistics
+``.monitor topk K``    install a top-K-expensive-queries tracker
+``.monitor outliers``  install the Example 1 outlier detector
+``.queries``           recently completed queries (id, duration, text)
+``.outbox``            SendMail deliveries
+``.report``            full DBA report (activity, blocking, monitoring)
+``.explain SQL``       show the physical plan and signatures for a query
+``.clock``             current virtual time
+``.help``              this text
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro import DatabaseServer, ServerConfig, SQLCM
+from repro.apps import OutlierDetector, TopKTracker
+from repro.errors import ReproError
+
+
+class Shell:
+    """One interactive session against a fresh in-memory server."""
+
+    def __init__(self, out: IO[str] | None = None):
+        self.out = out or sys.stdout
+        self.server = DatabaseServer(
+            ServerConfig(track_completed_queries=True))
+        self.sqlcm = SQLCM(self.server)
+        self.session = self.server.create_session(user="cli",
+                                                  application="shell")
+        self._trackers: dict[str, object] = {}
+
+    def _print(self, *parts: object) -> None:
+        print(*parts, file=self.out)
+
+    # -- command dispatch -----------------------------------------------------
+
+    def execute_line(self, line: str) -> None:
+        """Execute one SQL statement or meta-command."""
+        line = line.strip().rstrip(";")
+        if not line or line.startswith("--"):
+            return
+        if line.startswith("."):
+            self._meta(line)
+            return
+        try:
+            result = self.session.execute(line)
+        except ReproError as err:
+            self._print(f"error: {err}")
+            return
+        if result.error is not None:
+            self._print(f"error: {result.error}")
+        elif result.rows:
+            for row in result.rows:
+                self._print("  " + " | ".join(_fmt(v) for v in row))
+            self._print(f"({len(result.rows)} rows)")
+        elif result.query is not None and \
+                result.query.query_type != "SELECT":
+            self._print(f"({result.rows_affected} rows affected)")
+        else:
+            self._print("ok")
+
+    def _meta(self, line: str) -> None:
+        parts = line.split()
+        command = parts[0].lower()
+        if command == ".help":
+            self._print(__doc__)
+        elif command == ".clock":
+            self._print(f"virtual time: {self.server.clock.now:.6f}s")
+        elif command == ".lats":
+            for lat in self.sqlcm.lats():
+                self._print(f"  {lat.definition.name}: {len(lat)} rows, "
+                            f"{lat.insert_count} inserts, "
+                            f"{lat.eviction_count} evictions")
+            if not self.sqlcm.lats():
+                self._print("  (no LATs)")
+        elif command == ".lat" and len(parts) > 1:
+            try:
+                lat = self.sqlcm.lat(parts[1])
+            except ReproError as err:
+                self._print(f"error: {err}")
+                return
+            for row in lat.rows():
+                self._print("  " + " | ".join(
+                    f"{k}={_fmt(v)}" for k, v in row.items()))
+        elif command == ".rules":
+            for rule in self.sqlcm.rules.values():
+                state = "on" if rule.enabled else "off"
+                self._print(f"  [{state}] {rule.name} ON {rule.event}: "
+                            f"{rule.evaluation_count} evals, "
+                            f"{rule.fire_count} fired")
+            if not self.sqlcm.rules:
+                self._print("  (no rules)")
+        elif command == ".monitor" and len(parts) > 1:
+            self._install_monitor(parts[1:])
+        elif command == ".queries":
+            for qctx in self.server.completed_queries[-10:]:
+                duration = qctx.duration_at(self.server.clock.now)
+                self._print(f"  #{qctx.query_id} {duration * 1e3:8.2f}ms "
+                            f"{qctx.text[:60]}")
+        elif command == ".outbox":
+            for mail in self.sqlcm.outbox:
+                self._print(f"  to {mail.address}: {mail.body}")
+            if not self.sqlcm.outbox:
+                self._print("  (empty)")
+        elif command == ".report":
+            from repro.monitoring.report import full_report
+            self._print(full_report(self.server, self.sqlcm))
+        elif command == ".explain" and len(parts) > 1:
+            from repro.engine.planner.explain import explain_query
+            sql = line[len(".explain"):].strip()
+            try:
+                self._print(explain_query(self.server, sql))
+            except ReproError as err:
+                self._print(f"error: {err}")
+        else:
+            self._print(f"unknown meta-command {parts[0]!r}; try .help")
+
+    def _install_monitor(self, args: list[str]) -> None:
+        kind = args[0].lower()
+        try:
+            if kind == "topk":
+                k = int(args[1]) if len(args) > 1 else 10
+                self._trackers["topk"] = TopKTracker(self.sqlcm, k=k)
+                self._print(f"tracking top-{k} most expensive queries "
+                            "(.lat TopK_LAT to view)")
+            elif kind == "outliers":
+                self._trackers["outliers"] = OutlierDetector(self.sqlcm)
+                self._print("outlier detection installed "
+                            "(.lat Duration_LAT to view)")
+            else:
+                self._print(f"unknown monitor {kind!r} "
+                            "(try: topk, outliers)")
+        except ReproError as err:
+            self._print(f"error: {err}")
+
+    # -- main loops ------------------------------------------------------------
+
+    def run_script(self, text: str) -> None:
+        """Execute ';'-separated statements from a script."""
+        buffer = ""
+        for raw_line in text.splitlines():
+            stripped = raw_line.strip()
+            if stripped.startswith("."):
+                if buffer.strip():
+                    self.execute_line(buffer)
+                    buffer = ""
+                self.execute_line(stripped)
+                continue
+            buffer += " " + raw_line
+            while ";" in buffer:
+                statement, __, buffer = buffer.partition(";")
+                self.execute_line(statement)
+        if buffer.strip():
+            self.execute_line(buffer)
+
+    def repl(self, inp: IO[str] | None = None) -> None:  # pragma: no cover
+        inp = inp or sys.stdin
+        interactive = inp.isatty()
+        if interactive:
+            self._print("SQLCM repro shell — .help for meta-commands, "
+                        "Ctrl-D to exit")
+        while True:
+            if interactive:
+                self.out.write("sqlcm> ")
+                self.out.flush()
+            line = inp.readline()
+            if not line:
+                break
+            self.execute_line(line)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bytes):
+        return value.hex()[:12]
+    return str(value)
+
+
+def main() -> None:  # pragma: no cover
+    shell = Shell()
+    if sys.stdin.isatty():
+        shell.repl()
+    else:
+        shell.run_script(sys.stdin.read())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,37 @@
+"""SQLCM: the continuous monitoring framework (the paper's contribution).
+
+Public surface:
+
+* :class:`~repro.core.engine.SQLCM` — attach to a
+  :class:`~repro.engine.DatabaseServer`, then register LATs and ECA rules.
+* :class:`~repro.core.lat.LATDefinition` / :class:`~repro.core.lat.LAT` —
+  lightweight aggregation tables (Section 4.3).
+* :class:`~repro.core.rules.Rule` and the action classes in
+  :mod:`repro.core.actions` (Section 5).
+* :mod:`repro.core.signatures` — the four signature kinds (Section 4.2).
+"""
+
+from repro.core.actions import (CancelAction, InsertAction, PersistAction,
+                                ResetAction, RunExternalAction,
+                                SendMailAction, SetTimerAction)
+from repro.core.engine import SQLCM
+from repro.core.lat import AggSpec, AgingSpec, LATDefinition, OrderSpec
+from repro.core.rules import Rule
+from repro.core.schema import SCHEMA
+
+__all__ = [
+    "SQLCM",
+    "Rule",
+    "LATDefinition",
+    "AggSpec",
+    "AgingSpec",
+    "OrderSpec",
+    "InsertAction",
+    "ResetAction",
+    "PersistAction",
+    "SendMailAction",
+    "RunExternalAction",
+    "CancelAction",
+    "SetTimerAction",
+    "SCHEMA",
+]

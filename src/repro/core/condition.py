@@ -1,0 +1,445 @@
+"""The ECA rule condition language (paper Section 5.2).
+
+Grammar (deliberately small — "the expressive power of the programming
+model is of secondary importance, whereas low and controllable overhead is
+crucial"):
+
+* terms: ``Class.Attribute`` (``Query.Duration``), ``LATName.Column``
+  (``Duration_LAT.Avg_Duration``), numeric and string literals
+* operators: ``= != < > <= >=``, arithmetic ``+ - * /``, parentheses
+* combinators: ``AND``, ``OR``, ``NOT``
+
+LAT references are implicitly ∃-quantified: the row whose grouping columns
+match the in-context object is selected; if no row matches, the whole
+condition evaluates to false.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConditionSyntaxError, SchemaError
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+      (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+    | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\))
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"AND", "OR", "NOT", "NULL", "TRUE", "FALSE"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NUMBER | STRING | NAME | OP | KW | EOF
+    value: Any
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ConditionSyntaxError(
+                f"bad character {text[pos:pos + 1]!r} in condition", pos
+            )
+        if match.group("number") is not None:
+            raw = match.group("number")
+            value = float(raw) if ("." in raw or "e" in raw.lower()) \
+                else int(raw)
+            tokens.append(_Token("NUMBER", value, match.start()))
+        elif match.group("string") is not None:
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(_Token("STRING", raw, match.start()))
+        elif match.group("name") is not None:
+            name = match.group("name")
+            if name.upper() in _KEYWORDS and "." not in name:
+                tokens.append(_Token("KW", name.upper(), match.start()))
+            else:
+                tokens.append(_Token("NAME", name, match.start()))
+        else:
+            op = match.group("op")
+            tokens.append(_Token("OP", "!=" if op == "<>" else op,
+                                 match.start()))
+        pos = match.end()
+    tokens.append(_Token("EOF", None, len(text)))
+    return tokens
+
+
+# -- AST ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CLiteral:
+    value: Any
+
+
+@dataclass(frozen=True)
+class CAttrRef:
+    """``Qualifier.Attribute``; resolution to class vs LAT happens at bind."""
+
+    qualifier: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class CBinary:
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class CUnary:
+    op: str  # 'NOT' | '-'
+    operand: Any
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect_op(self, op: str) -> None:
+        token = self._peek()
+        if token.kind != "OP" or token.value != op:
+            raise ConditionSyntaxError(
+                f"expected {op!r}, found {token.value!r}", token.position
+            )
+        self._advance()
+
+    def parse(self):
+        expr = self._or()
+        token = self._peek()
+        if token.kind != "EOF":
+            raise ConditionSyntaxError(
+                f"unexpected trailing token {token.value!r}", token.position
+            )
+        return expr
+
+    def _or(self):
+        left = self._and()
+        while self._peek().kind == "KW" and self._peek().value == "OR":
+            self._advance()
+            left = CBinary("OR", left, self._and())
+        return left
+
+    def _and(self):
+        left = self._not()
+        while self._peek().kind == "KW" and self._peek().value == "AND":
+            self._advance()
+            left = CBinary("AND", left, self._not())
+        return left
+
+    def _not(self):
+        if self._peek().kind == "KW" and self._peek().value == "NOT":
+            self._advance()
+            return CUnary("NOT", self._not())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<", ">",
+                                                  "<=", ">="):
+            self._advance()
+            return CBinary(token.value, left, self._additive())
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self._advance()
+                left = CBinary(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("*", "/"):
+                self._advance()
+                left = CBinary(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        token = self._peek()
+        if token.kind == "OP" and token.value == "-":
+            self._advance()
+            return CUnary("-", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self._advance()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            return CLiteral(token.value)
+        if token.kind == "KW":
+            if token.value == "NULL":
+                return CLiteral(None)
+            if token.value == "TRUE":
+                return CLiteral(True)
+            if token.value == "FALSE":
+                return CLiteral(False)
+            raise ConditionSyntaxError(
+                f"unexpected keyword {token.value!r}", token.position
+            )
+        if token.kind == "NAME":
+            if "." not in token.value:
+                raise ConditionSyntaxError(
+                    f"bare name {token.value!r}; references must be "
+                    "Class.Attribute or LAT.Column", token.position
+                )
+            qualifier, __, attribute = token.value.partition(".")
+            return CAttrRef(qualifier, attribute)
+        if token.kind == "OP" and token.value == "(":
+            expr = self._or()
+            self._expect_op(")")
+            return expr
+        raise ConditionSyntaxError(
+            f"unexpected token {token.value!r}", token.position
+        )
+
+
+def parse_condition(text: str):
+    """Parse condition text into its AST."""
+    return _Parser(_tokenize(text)).parse()
+
+
+# -- binding / evaluation -------------------------------------------------------
+
+class _MissingLATRow(Exception):
+    """Raised during evaluation when a referenced LAT row does not exist.
+
+    Implements the implicit ∃-quantification: the condition as a whole
+    becomes false.
+    """
+
+
+class CompiledCondition:
+    """A bound, evaluable condition (compiled to nested closures).
+
+    ``classes`` — monitored classes referenced (objects must be in context);
+    ``lats`` — LAT names referenced; ``atomic_count`` — number of comparison
+    operators (the unit of the paper's rule-complexity experiments).
+    """
+
+    def __init__(self, text: str, tree, classes: set[str], lats: set[str],
+                 atomic_count: int):
+        self.text = text
+        self._tree = tree
+        self._fn = _compile(tree)
+        self.classes = classes
+        self.lats = lats
+        self.atomic_count = atomic_count
+
+    def evaluate(self, context: dict[str, Any],
+                 lat_rows: dict[str, dict | None]) -> bool:
+        """Evaluate against in-context objects and matched LAT rows.
+
+        ``context`` maps lowercase class names to monitored objects;
+        ``lat_rows`` maps lowercase LAT names to the matched row (or None
+        for no match → condition false).
+        """
+        try:
+            result = self._fn(context, lat_rows)
+        except _MissingLATRow:
+            return False
+        return result is True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CompiledCondition({self.text!r})"
+
+
+def bind_condition(text: str, schema, lat_names: set[str],
+                   lat_columns: Callable[[str], set[str]]) -> CompiledCondition:
+    """Parse and bind a condition: resolve every qualifier to a monitored
+    class or a LAT, validate attributes/columns, count atomic conditions."""
+    tree = parse_condition(text)
+    classes: set[str] = set()
+    lats: set[str] = set()
+    atomic = 0
+
+    def walk(node) -> None:
+        nonlocal atomic
+        if isinstance(node, CBinary):
+            if node.op in ("=", "!=", "<", ">", "<=", ">="):
+                atomic += 1
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, CUnary):
+            walk(node.operand)
+        elif isinstance(node, CAttrRef):
+            qualifier = node.qualifier.lower()
+            if qualifier in lat_names:
+                lats.add(qualifier)
+                columns = lat_columns(qualifier)
+                if node.attribute.lower() not in columns:
+                    raise SchemaError(
+                        f"LAT {node.qualifier!r} has no column "
+                        f"{node.attribute!r}"
+                    )
+            elif schema.has_class(node.qualifier):
+                cls = schema.monitored_class(node.qualifier)
+                if cls.name.lower() != "evicted" and \
+                        not cls.has_attribute(node.attribute):
+                    raise SchemaError(
+                        f"class {cls.name} has no attribute "
+                        f"{node.attribute!r}"
+                    )
+                classes.add(cls.name.lower())
+            else:
+                raise SchemaError(
+                    f"unknown qualifier {node.qualifier!r} (neither a "
+                    "monitored class nor a LAT)"
+                )
+
+    walk(tree)
+    bound = _bind_refs(tree, lat_names)
+    return CompiledCondition(text, bound, classes, lats, atomic)
+
+
+@dataclass(frozen=True)
+class _BoundClassAttr:
+    class_name: str  # lowercase
+    attribute: str
+
+
+@dataclass(frozen=True)
+class _BoundLATCol:
+    lat_name: str  # lowercase
+    column: str
+
+
+def _bind_refs(node, lat_names: set[str]):
+    if isinstance(node, CAttrRef):
+        qualifier = node.qualifier.lower()
+        if qualifier in lat_names:
+            return _BoundLATCol(qualifier, node.attribute.lower())
+        return _BoundClassAttr(qualifier, node.attribute)
+    if isinstance(node, CBinary):
+        return CBinary(node.op, _bind_refs(node.left, lat_names),
+                       _bind_refs(node.right, lat_names))
+    if isinstance(node, CUnary):
+        return CUnary(node.op, _bind_refs(node.operand, lat_names))
+    return node
+
+
+def _compile(node):
+    """Compile a bound condition tree to ``fn(context, lat_rows)``.
+
+    Rules evaluate on every matching event under heavy load; closures avoid
+    the per-evaluation tree walk.
+    """
+    if isinstance(node, CLiteral):
+        value = node.value
+        return lambda context, lat_rows: value
+    if isinstance(node, _BoundClassAttr):
+        class_name, attribute = node.class_name, node.attribute
+
+        def read_attr(context, lat_rows):
+            obj = context.get(class_name)
+            if obj is None:
+                raise SchemaError(
+                    f"no {class_name!r} object in rule context"
+                )
+            return obj.get(attribute)
+        return read_attr
+    if isinstance(node, _BoundLATCol):
+        lat_name = node.lat_name
+        column = node.column
+
+        def read_lat(context, lat_rows):
+            row = lat_rows.get(lat_name)
+            if row is None:
+                raise _MissingLATRow(lat_name)
+            if column in row:
+                return row[column]
+            for key, value in row.items():
+                if key.lower() == column:
+                    return value
+            return None
+        return read_lat
+    if isinstance(node, CUnary):
+        operand = _compile(node.operand)
+        if node.op == "NOT":
+            def negate(context, lat_rows):
+                value = operand(context, lat_rows)
+                return None if value is None else (value is not True)
+            return negate
+
+        def minus(context, lat_rows):
+            value = operand(context, lat_rows)
+            return None if value is None else -value
+        return minus
+    if isinstance(node, CBinary):
+        op = node.op
+        left = _compile(node.left)
+        right = _compile(node.right)
+        if op == "AND":
+            def and_fn(context, lat_rows):
+                if left(context, lat_rows) is not True:
+                    return False
+                return right(context, lat_rows) is True
+            return and_fn
+        if op == "OR":
+            def or_fn(context, lat_rows):
+                if left(context, lat_rows) is True:
+                    return True
+                return right(context, lat_rows) is True
+            return or_fn
+        if op in ("+", "-", "*", "/"):
+            def arith(context, lat_rows):
+                a = left(context, lat_rows)
+                b = right(context, lat_rows)
+                if a is None or b is None:
+                    return None
+                if op == "+":
+                    return a + b
+                if op == "-":
+                    return a - b
+                if op == "*":
+                    return a * b
+                return None if b == 0 else a / b
+            return arith
+
+        def comparison(context, lat_rows):
+            a = left(context, lat_rows)
+            b = right(context, lat_rows)
+            if a is None or b is None:
+                return False
+            try:
+                if op == "=":
+                    return a == b
+                if op == "!=":
+                    return a != b
+                if op == "<":
+                    return a < b
+                if op == ">":
+                    return a > b
+                if op == "<=":
+                    return a <= b
+                return a >= b
+            except TypeError:
+                return False
+        return comparison
+    raise SchemaError(f"cannot compile condition node {node!r}")

@@ -1,0 +1,525 @@
+"""The SQLCM engine: monitoring engine + ECA rule engine (paper Sections 4-5).
+
+Attach one :class:`SQLCM` to a :class:`~repro.engine.DatabaseServer`; it
+subscribes to the server's event bus and evaluates registered rules
+synchronously in the event's execution path.  All monitoring work — rule
+evaluation, LAT maintenance, signature computation, persist writes — charges
+the server's monitor-cost pool, which the running session converts into
+virtual time; this is what the overhead experiments measure.
+
+Design contracts from the paper honored here:
+
+* *Fixed rule order, deferred side effects* (Section 5): rules run in
+  registration order; events raised by actions (LAT evictions, cancel
+  signals) are queued and processed only after all rules for the current
+  event have run.
+* *Pay only for what you monitor* (Section 2.1): events with no registered
+  rules return immediately; signatures are only computed when some rule or
+  LAT references them.
+* *Scope semantics* (Section 5.2): if the condition references the event's
+  class, the triggering object is in context; other referenced classes are
+  iterated over all registered objects (Blocker/Blocked pairs come from a
+  lock-graph traversal, as in Section 6.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.core.condition import bind_condition
+from repro.core.lat import LAT, LATDefinition
+from repro.core.objects import MonitoredObject, ObjectFactory
+from repro.core.rules import Rule
+from repro.core.schema import SCHEMA, SQLCMSchema
+from repro.core.signatures import (SignatureRegistry, linearize_logical,
+                                   linearize_physical, digest,
+                                   sequence_signature)
+from repro.core.timers import TimerService
+from repro.engine.catalog import ColumnDef, TableSchema
+from repro.engine.planner.logical import walk_logical
+from repro.engine.planner.physical import walk_physical
+from repro.engine.types import SQLType
+from repro.errors import LATError, RuleError, SchemaError
+
+_SIGNATURE_ATTRS = {"logical_signature", "physical_signature"}
+_INSTANCE_ATTRS = {"number_of_instances"}
+
+
+class SQLCM:
+    """SQL Continuous Monitoring engine, embedded in a database server."""
+
+    def __init__(self, server, schema: SQLCMSchema | None = None):
+        self.server = server
+        self.schema = schema or SCHEMA
+        self.factory = ObjectFactory(self)
+        self.timer_service = TimerService(self)
+        self.rules: dict[str, Rule] = {}
+        self._rule_order: list[Rule] = []
+        self._rules_by_event: dict[str, list[Rule]] = {}
+        self._lats: dict[str, LAT] = {}
+        self.outbox: list = []
+        self.command_journal: list = []
+        self.external_handler: Callable[[str], None] | None = None
+        self._sig_registry = SignatureRegistry()
+        self._instance_counts: dict[bytes, int] = {}
+        self._signatures_forced = False
+        self._event_queue: deque[tuple[str, dict]] = deque()
+        self._dispatching = False
+        self.events_handled = 0
+        self.rule_firings = 0
+        for event in ("query.start", "query.commit", "query.cancel",
+                      "query.rollback", "query.blocked",
+                      "query.block_released", "txn.begin", "txn.commit",
+                      "txn.rollback", "session.login",
+                      "session.login_failed", "session.logout"):
+            server.events.subscribe(event, self._on_engine_event)
+        server.events.subscribe("query.compile", self._on_compile)
+
+    # ------------------------------------------------------------------
+    # LAT management
+    # ------------------------------------------------------------------
+
+    def create_lat(self, definition: LATDefinition,
+                   structure: type[LAT] = LAT) -> LAT:
+        """Create a LAT; validates grouping/aggregation attributes."""
+        key = definition.name.lower()
+        if key in self._lats:
+            raise LATError(f"LAT {definition.name!r} already exists")
+        cls = self.schema.monitored_class(definition.monitored_class)
+        if cls.name.lower() != "evicted":
+            for attr in definition.source_attributes():
+                cls.attribute(attr)  # raises SchemaError if unknown
+        lat = structure(definition, self.server.clock)
+        self._lats[key] = lat
+        return lat
+
+    def drop_lat(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._lats:
+            raise LATError(f"unknown LAT {name!r}")
+        for rule in self._rule_order:
+            if rule.compiled_condition is not None and \
+                    key in rule.compiled_condition.lats:
+                raise LATError(
+                    f"LAT {name!r} is referenced by rule {rule.name!r}"
+                )
+        del self._lats[key]
+
+    def lat(self, name: str) -> LAT:
+        try:
+            return self._lats[name.lower()]
+        except KeyError:
+            raise LATError(f"unknown LAT {name!r}") from None
+
+    def has_lat(self, name: str) -> bool:
+        return name.lower() in self._lats
+
+    def lats(self) -> list[LAT]:
+        return list(self._lats.values())
+
+    # ------------------------------------------------------------------
+    # rule management
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> Rule:
+        """Bind and register a rule (takes effect immediately)."""
+        key = rule.name.lower()
+        if key in self.rules:
+            raise RuleError(f"rule {rule.name!r} already exists")
+        cls, event_def = self.schema.resolve_event(rule.event)
+        rule.event_class = cls
+        rule.event_def = event_def
+        if rule.condition is not None:
+            rule.compiled_condition = bind_condition(
+                rule.condition, self.schema, set(self._lats),
+                lambda lat: {c.lower() for c in
+                             self.lat(lat).definition.column_names()},
+            )
+        for action in rule.actions:
+            action.validate(self, rule)
+        self.rules[key] = rule
+        self._rule_order.append(rule)
+        self._rules_by_event.setdefault(event_def.engine_event, []).append(rule)
+        return rule
+
+    def remove_rule(self, name: str) -> None:
+        rule = self.rules.pop(name.lower(), None)
+        if rule is None:
+            raise RuleError(f"unknown rule {name!r}")
+        self._rule_order.remove(rule)
+        self._rules_by_event[rule.event_def.engine_event].remove(rule)
+
+    def enable_rule(self, name: str, enabled: bool = True) -> None:
+        rule = self.rules.get(name.lower())
+        if rule is None:
+            raise RuleError(f"unknown rule {name!r}")
+        rule.enabled = enabled
+
+    def set_timer(self, name: str, interval: float, repeats: int = -1):
+        """Arm a timer (the Set action, also usable directly)."""
+        return self.timer_service.set(name, interval, repeats)
+
+    def enable_signatures(self, enabled: bool = True) -> None:
+        """Force signature computation even with no referencing rule."""
+        self._signatures_forced = enabled
+
+    # ------------------------------------------------------------------
+    # signatures / instance counting
+    # ------------------------------------------------------------------
+
+    @property
+    def signatures_needed(self) -> bool:
+        if self._signatures_forced:
+            return True
+        for lat in self._lats.values():
+            attrs = {a.lower() for a in lat.definition.source_attributes()}
+            if attrs & (_SIGNATURE_ATTRS | _INSTANCE_ATTRS):
+                return True
+        for rule in self._rule_order:
+            cond = rule.compiled_condition
+            if cond is not None and any(
+                attr in cond.text.lower()
+                for attr in ("signature", "number_of_instances")
+            ):
+                return True
+        return False
+
+    def _on_compile(self, event: str, payload: dict) -> None:
+        entry = payload["entry"]
+        qctx = payload["query"]
+        if self.signatures_needed and entry.logical_signature is None:
+            costs = self.server.costs
+            logical_nodes = sum(1 for __ in walk_logical(entry.logical))
+            physical_nodes = sum(1 for __ in walk_physical(entry.physical))
+            self.server.add_monitor_cost(
+                costs.signature_per_node * (logical_nodes + physical_nodes)
+            )
+            entry.logical_signature = digest(linearize_logical(entry.logical))
+            entry.physical_signature = digest(
+                linearize_physical(entry.physical))
+        qctx.logical_signature = entry.logical_signature
+        qctx.physical_signature = entry.physical_signature
+        self._on_engine_event(event, payload)
+
+    def instance_count(self, logical_signature: bytes | None) -> int:
+        if logical_signature is None:
+            return 0
+        return self._instance_counts.get(logical_signature, 0)
+
+    def signature_id(self, signature: bytes | None) -> int:
+        return self._sig_registry.id_of(signature)
+
+    def transaction_signature(self, statements: Iterable,
+                              physical: bool) -> bytes:
+        """Logical/physical transaction signature: digest over the sequence
+        of per-statement signature ids (Section 4.2, kinds 3 and 4)."""
+        ids = [
+            self._sig_registry.id_of(
+                q.physical_signature if physical else q.logical_signature
+            )
+            for q in statements
+        ]
+        return sequence_signature(ids)
+
+    def transaction_signature_ids(self, statements: Iterable,
+                                  physical: bool = False) -> tuple[int, ...]:
+        """The raw id list (Appendix A exposes it as a list of integers)."""
+        return tuple(
+            self._sig_registry.id_of(
+                q.physical_signature if physical else q.logical_signature
+            )
+            for q in statements
+        )
+
+    # ------------------------------------------------------------------
+    # event dispatch
+    # ------------------------------------------------------------------
+
+    def _on_engine_event(self, event: str, payload: dict) -> None:
+        if event == "query.commit" and self.signatures_needed:
+            qctx = payload["query"]
+            if qctx.logical_signature is not None:
+                self._instance_counts[qctx.logical_signature] = \
+                    self._instance_counts.get(qctx.logical_signature, 0) + 1
+        self.dispatch_event(event, payload)
+
+    def dispatch_event(self, event: str, payload: dict) -> None:
+        """Queue-and-drain dispatch preserving the paper's ordering contract:
+        all rules for an event run before any event they raise."""
+        self._event_queue.append((event, payload))
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._event_queue:
+                queued_event, queued_payload = self._event_queue.popleft()
+                self._process_event(queued_event, queued_payload)
+        finally:
+            self._dispatching = False
+
+    def enqueue_evict_event(self, lat_name: str, row: dict) -> None:
+        """Called by InsertAction when a LAT row is evicted."""
+        if self._rules_by_event.get("lat.evict"):
+            self._event_queue.append(
+                ("lat.evict", {"lat": lat_name, "row": row})
+            )
+
+    def _process_event(self, event: str, payload: dict) -> None:
+        rules = self._rules_by_event.get(event)
+        if not rules:
+            return
+        self.events_handled += 1
+        costs = self.server.costs
+        self.server.add_monitor_cost(costs.event_dispatch)
+        context = self._build_context(event, payload)
+        if context is None:
+            return
+        for rule in list(rules):
+            if rule.enabled:
+                self._evaluate_rule(rule, context)
+
+    # ------------------------------------------------------------------
+    # context assembly
+    # ------------------------------------------------------------------
+
+    def _build_context(self, event: str,
+                       payload: dict) -> dict[str, MonitoredObject] | None:
+        factory = self.factory
+        if event.startswith("query."):
+            qctx = payload["query"]
+            if qctx is None:
+                return None
+            context = {"query": factory.query(qctx)}
+            if event == "query.blocked":
+                resource = payload.get("resource")
+                blockers = payload.get("blockers") or []
+                if blockers:
+                    context["blocker"] = factory.blocker(blockers[0],
+                                                         resource)
+                context["blocked"] = factory.blocked(qctx, resource, 0.0)
+            elif event == "query.block_released":
+                resource = payload.get("resource")
+                wait = payload.get("wait_time", 0.0)
+                blocker = payload.get("blocker")
+                if blocker is not None:
+                    context["blocker"] = factory.blocker(blocker, resource,
+                                                         wait)
+                context["blocked"] = factory.blocked(qctx, resource, wait)
+            return context
+        if event.startswith("txn."):
+            txn = payload.get("txn")
+            if txn is None:
+                return None
+            statements = payload.get("statements", [])
+            return {"transaction": factory.transaction(txn, statements)}
+        if event == "session.login_failed":
+            return {"session": factory.failed_login(payload)}
+        if event in ("session.login", "session.logout"):
+            return {"session": factory.session(payload["session"])}
+        if event == "timer.alert":
+            return {"timer": factory.timer(payload["timer"])}
+        if event == "lat.evict":
+            return {"evicted": factory.evicted_row(payload["lat"],
+                                                   payload["row"])}
+        return {}
+
+    def _iterate_class(self, class_name: str) -> list[MonitoredObject]:
+        """All registered objects of a class (Section 5.2 iteration scope)."""
+        factory = self.factory
+        if class_name == "query":
+            return [factory.query(q) for q in self.server.active_queries()]
+        if class_name == "transaction":
+            return [
+                factory.transaction(t, t.statement_log)
+                for t in self.server.txns.active_transactions
+            ]
+        if class_name == "timer":
+            return [factory.timer(t) for t in self.timer_service.timers()]
+        if class_name in ("blocker", "blocked"):
+            raise SchemaError(
+                "blocker/blocked iterate as pairs"
+            )  # pragma: no cover - guarded by caller
+        return []
+
+    def _blocking_pairs(self) -> list[tuple[MonitoredObject, MonitoredObject]]:
+        """Materialize Blocker/Blocked pairs by lock-graph traversal."""
+        costs = self.server.costs
+        pairs = self.server.locks.blocking_pairs()
+        edges = len(self.server.locks.waits_for_edges())
+        self.server.add_monitor_cost(costs.deadlock_search_per_edge
+                                     * max(1, edges))
+        now = self.server.clock.now
+        result = []
+        for ticket, holder_txn, resource in pairs:
+            blocked_q = ticket.qctx
+            blocker_q = self.server.current_query_of_txn(holder_txn)
+            if blocked_q is None or blocker_q is None:
+                continue
+            wait = max(0.0, now - ticket.requested_at)
+            result.append((
+                self.factory.blocker(blocker_q, resource, wait),
+                self.factory.blocked(blocked_q, resource, wait),
+            ))
+        return result
+
+    # ------------------------------------------------------------------
+    # rule evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_rule(self, rule: Rule,
+                       context: dict[str, MonitoredObject]) -> None:
+        cond = rule.compiled_condition
+        costs = self.server.costs
+
+        needed: set[str] = set()
+        if cond is not None:
+            needed |= cond.classes
+            for lat_name in cond.lats:
+                needed.add(self.lat(lat_name).definition
+                           .monitored_class.lower())
+        for action in rule.actions:
+            needed |= action.required_classes(self)
+        missing = needed - set(context)
+
+        pair_iteration = bool(missing & {"blocker", "blocked"})
+        plain_missing = sorted(missing - {"blocker", "blocked"})
+
+        combos: list[dict[str, MonitoredObject]] = [dict(context)]
+        if pair_iteration:
+            expanded = []
+            for blocker_obj, blocked_obj in self._blocking_pairs():
+                for combo in combos:
+                    candidate = dict(combo)
+                    candidate["blocker"] = blocker_obj
+                    candidate["blocked"] = blocked_obj
+                    expanded.append(candidate)
+            combos = expanded
+        for class_name in plain_missing:
+            objects = self._iterate_class(class_name)
+            expanded = []
+            for obj in objects:
+                for combo in combos:
+                    candidate = dict(combo)
+                    candidate[class_name] = obj
+                    expanded.append(candidate)
+            combos = expanded
+
+        for combo in combos:
+            rule.evaluation_count += 1
+            self.server.add_monitor_cost(
+                costs.rule_eval_base
+                + costs.rule_atomic_condition * rule.atomic_condition_count
+            )
+            lat_rows: dict[str, dict | None] = {}
+            if cond is not None:
+                for lat_name in cond.lats:
+                    lat = self.lat(lat_name)
+                    owner = lat.definition.monitored_class.lower()
+                    obj = combo.get(owner)
+                    self.server.add_monitor_cost(
+                        costs.lat_lookup + costs.lat_latch
+                    )
+                    lat_rows[lat_name] = (
+                        lat.lookup_object(obj) if obj is not None else None
+                    )
+            if cond is None or cond.evaluate(combo, lat_rows):
+                rule.fire_count += 1
+                self.rule_firings += 1
+                for action in rule.actions:
+                    self.server.add_monitor_cost(costs.action_dispatch)
+                    action.execute(self, rule, combo, lat_rows)
+
+    # ------------------------------------------------------------------
+    # persistence (Persist action + LAT restore)
+    # ------------------------------------------------------------------
+
+    _TIMESTAMP_COLUMN = "sqlcm_ts"
+
+    def persist_lat(self, lat_name: str, table_name: str) -> int:
+        """Write all LAT rows to a disk-resident table; returns row count."""
+        lat = self.lat(lat_name)
+        rows = lat.rows()
+        columns = lat.definition.column_names()
+        self._ensure_reporting_table(table_name, columns,
+                                     self._lat_column_types(lat))
+        table = self.server.table(table_name)
+        now = self.server.clock.now
+        for row in rows:
+            self.server.add_monitor_cost(self.server.costs.persist_row)
+            table.insert([row.get(c) for c in columns] + [now])
+        return len(rows)
+
+    def persist_object(self, obj: MonitoredObject, table_name: str,
+                       attributes: list[str] | None = None) -> None:
+        """Write one monitored object's attributes to a table."""
+        if attributes is None:
+            if obj.class_name.lower() == "evicted":
+                raise SchemaError(
+                    "Persist of an evicted row needs explicit attributes"
+                )
+            attributes = list(obj.class_def.attributes)
+        types = []
+        for attr in attributes:
+            if obj.class_def.has_attribute(attr):
+                types.append(obj.class_def.attribute(attr).sql_type)
+            else:
+                types.append(SQLType.FLOAT)
+        self._ensure_reporting_table(table_name, attributes, types)
+        table = self.server.table(table_name)
+        self.server.add_monitor_cost(self.server.costs.persist_row)
+        table.insert([obj.get(a) for a in attributes]
+                     + [self.server.clock.now])
+
+    def _lat_column_types(self, lat: LAT) -> list[SQLType]:
+        cls = self.schema.monitored_class(lat.definition.monitored_class)
+        types: list[SQLType] = []
+        for group in lat.definition.grouping:
+            if cls.name.lower() != "evicted" and \
+                    cls.has_attribute(group.attr):
+                types.append(cls.attribute(group.attr).sql_type)
+            else:
+                types.append(SQLType.FLOAT)
+        for agg in lat.definition.aggregations:
+            if agg.func == "COUNT":
+                types.append(SQLType.INTEGER)
+            elif agg.func in ("FIRST", "LAST") and cls.has_attribute(agg.attr):
+                types.append(cls.attribute(agg.attr).sql_type)
+            else:
+                types.append(SQLType.FLOAT)
+        return types
+
+    def _ensure_reporting_table(self, table_name: str, columns: list[str],
+                                types: list[SQLType]) -> None:
+        if self.server.catalog.has_table(table_name):
+            return
+        defs = [ColumnDef(_sanitize(c), t) for c, t in zip(columns, types)]
+        defs.append(ColumnDef(self._TIMESTAMP_COLUMN, SQLType.DATETIME))
+        self.server.create_table(TableSchema(table_name, defs))
+
+    def restore_lat(self, lat_name: str, table_name: str) -> int:
+        """Upload a persisted table back into a LAT at startup (Section 4.3).
+
+        Aggregate states are re-seeded from the persisted values: COUNT and
+        SUM restore exactly; AVG restores exactly when the LAT also has a
+        COUNT column (otherwise it seeds with count 1); MIN/MAX/FIRST/LAST
+        restore their values; STDEV re-seeds from AVG/COUNT (spread within
+        the restored window is lost).  Returns restored row count.
+        """
+        lat = self.lat(lat_name)
+        table = self.server.table(table_name)
+        columns = [c.name.lower() for c in table.schema.columns]
+        restored = 0
+        for __, row in table.scan():
+            values = dict(zip(columns, row))
+            lat.seed_row(values)
+            restored += 1
+        return restored
+
+
+def _sanitize(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "c_" + cleaned
+    return cleaned

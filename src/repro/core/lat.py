@@ -1,0 +1,487 @@
+"""Light-weight aggregation tables (paper Section 4.3).
+
+A LAT is an in-memory GROUP BY over inserted monitored objects: grouping
+columns, aggregation columns (standard or aging), an optional ordering with
+a size limit (rows or bytes), and automatic eviction of the least-important
+row when the limit is exceeded.  Evicted rows are surfaced to the SQLCM
+engine so rules can react to them.
+
+The default structure follows the paper's implementation notes: a hash map
+on the grouping columns for O(1) row lookup, with eviction by importance
+scan (LATs are small by construction — that is the point of the size
+limit).  ``NaiveListLAT`` is a deliberately slower structure kept for the
+A1 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.aggregates import (AggregateFunction, AgingSpec, AgingState,
+                                   aggregate_function)
+from repro.core.objects import MonitoredObject
+from repro.errors import LATError
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One grouping column: source attribute plus output alias."""
+
+    attr: str
+    alias: str | None = None
+
+    @property
+    def column(self) -> str:
+        return self.alias or self.attr
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregation column: function, source attribute, alias, aging."""
+
+    func: str
+    attr: str
+    alias: str | None = None
+    aging: AgingSpec | None = None
+
+    @property
+    def column(self) -> str:
+        return self.alias or f"{self.func.lower()}_{self.attr.lower()}"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ordering column (by output column name)."""
+
+    column: str
+    descending: bool = True
+
+
+def _parse_group(spec: "GroupSpec | str") -> GroupSpec:
+    if isinstance(spec, GroupSpec):
+        return spec
+    text = spec.strip()
+    upper = text.upper()
+    if " AS " in upper:
+        pos = upper.index(" AS ")
+        attr, alias = text[:pos].strip(), text[pos + 4:].strip()
+    else:
+        attr, alias = text, None
+    if "." in attr:  # allow "Query.Logical_Signature" — class part is implied
+        attr = attr.split(".", 1)[1]
+    return GroupSpec(attr, alias)
+
+
+def _parse_agg(spec: "AggSpec | str") -> AggSpec:
+    if isinstance(spec, AggSpec):
+        return spec
+    text = spec.strip()
+    upper = text.upper()
+    alias = None
+    if " AS " in upper:
+        pos = upper.index(" AS ")
+        text, alias = text[:pos].strip(), text[pos + 4:].strip()
+    if "(" not in text or not text.endswith(")"):
+        raise LATError(f"bad aggregation spec {spec!r}; expected FUNC(Attr)")
+    func, __, rest = text.partition("(")
+    attr = rest[:-1].strip()
+    if "." in attr:
+        attr = attr.split(".", 1)[1]
+    return AggSpec(func.strip().upper(), attr, alias)
+
+
+@dataclass
+class LATDefinition:
+    """Declarative specification of a LAT (the paper's "LAT specification").
+
+    ``grouping`` and ``aggregations`` accept either spec objects or strings
+    in the paper's syntax (``"Query.Logical_Signature AS Sig"``,
+    ``"AVG(Query.Duration) AS Avg_Duration"``).
+    """
+
+    name: str
+    monitored_class: str = "Query"
+    grouping: list = field(default_factory=list)
+    aggregations: list = field(default_factory=list)
+    ordering: list = field(default_factory=list)
+    max_rows: int | None = None
+    max_bytes: int | None = None
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise LATError(f"invalid LAT name {self.name!r}")
+        self.grouping = [_parse_group(g) for g in self.grouping]
+        self.aggregations = [_parse_agg(a) for a in self.aggregations]
+        if not self.grouping:
+            raise LATError("a LAT needs at least one grouping column")
+        self.ordering = [
+            o if isinstance(o, OrderSpec) else OrderSpec(*_parse_order(o))
+            for o in self.ordering
+        ]
+        columns = self.column_names()
+        if len(set(c.lower() for c in columns)) != len(columns):
+            raise LATError(f"LAT {self.name!r} has duplicate column names")
+        for order in self.ordering:
+            if order.column.lower() not in (c.lower() for c in columns):
+                raise LATError(
+                    f"ordering column {order.column!r} is not a LAT column"
+                )
+        if (self.max_rows is not None or self.max_bytes is not None) \
+                and not self.ordering:
+            raise LATError("a size-limited LAT needs ordering columns")
+        if self.max_rows is not None and self.max_rows < 1:
+            raise LATError("max_rows must be positive")
+
+    def column_names(self) -> list[str]:
+        return ([g.column for g in self.grouping]
+                + [a.column for a in self.aggregations])
+
+    def source_attributes(self) -> list[str]:
+        """Probe attributes read from each inserted object."""
+        return ([g.attr for g in self.grouping]
+                + [a.attr for a in self.aggregations])
+
+
+def _parse_order(spec: str) -> tuple[str, bool]:
+    text = spec.strip()
+    upper = text.upper()
+    if upper.endswith(" DESC"):
+        return text[:-5].strip(), True
+    if upper.endswith(" ASC"):
+        return text[:-4].strip(), False
+    return text, True  # eviction-ordered LATs default to DESC (top-k style)
+
+
+class _Row:
+    """One LAT row: group key plus aggregate states."""
+
+    __slots__ = ("key", "states", "seq", "importance")
+
+    def __init__(self, key: tuple, states: list, seq: int):
+        self.key = key
+        self.states = states
+        self.seq = seq
+        # memoized importance key; None = dirty (recompute on next scan)
+        self.importance: tuple | None = None
+
+
+_ROW_OVERHEAD_BYTES = 48
+_VALUE_BYTES = 24
+_AGING_BLOCK_BYTES = 32
+
+
+class LAT:
+    """The default LAT structure: hash on group key, importance-scan eviction."""
+
+    def __init__(self, definition: LATDefinition, clock):
+        self.definition = definition
+        self._clock = clock
+        self._functions: list[AggregateFunction] = [
+            aggregate_function(a.func) for a in definition.aggregations
+        ]
+        self._rows: dict[tuple, _Row] = {}
+        self._seq = 0
+        self._order_indexes = self._resolve_order_indexes()
+        # importance keys over aging aggregates decay with time and must
+        # not be memoized; plain aggregates only change on insert
+        n_groups = len(definition.grouping)
+        self._ordering_cacheable = all(
+            index < n_groups
+            or definition.aggregations[index - n_groups].aging is None
+            for index, __ in self._order_indexes
+        )
+        # statistics (reported by benches; latches are counted, not real)
+        self.insert_count = 0
+        self.eviction_count = 0
+        self.latch_acquisitions = 0
+        self.peak_rows = 0
+
+    def _resolve_order_indexes(self) -> list[tuple[int, bool]]:
+        columns = [c.lower() for c in self.definition.column_names()]
+        return [
+            (columns.index(o.column.lower()), o.descending)
+            for o in self.definition.ordering
+        ]
+
+    # -- core operations --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def key_of(self, source: "MonitoredObject | dict") -> tuple:
+        return tuple(
+            self._value(source, g.attr) for g in self.definition.grouping
+        )
+
+    @staticmethod
+    def _value(source: "MonitoredObject | dict", attr: str) -> Any:
+        if isinstance(source, MonitoredObject):
+            return source.get(attr)
+        for key in (attr, attr.lower()):
+            if key in source:
+                return source[key]
+        return None
+
+    def insert(self, source: "MonitoredObject | dict") -> list[dict]:
+        """Insert-or-update the row matching the object's group key.
+
+        Returns the rows evicted to satisfy the size constraint (possibly
+        including the row just inserted), as column dicts.
+        """
+        now = self._clock.now
+        key = self.key_of(source)
+        row = self._rows.get(key)
+        # latches: the hash entry, the row, and the structure as a whole
+        self.latch_acquisitions += 3
+        if row is None:
+            states = []
+            for spec, func in zip(self.definition.aggregations,
+                                  self._functions):
+                if spec.aging is not None:
+                    states.append(AgingState(func, spec.aging))
+                else:
+                    states.append(func.new_state())
+            row = _Row(key, states, self._seq)
+            self._seq += 1
+            self._rows[key] = row
+        for i, (spec, func) in enumerate(
+                zip(self.definition.aggregations, self._functions)):
+            value = self._value(source, spec.attr)
+            if isinstance(row.states[i], AgingState):
+                row.states[i].update(value, now)
+            else:
+                row.states[i] = func.update(row.states[i], value)
+        row.importance = None  # aggregates changed; importance is stale
+        self.insert_count += 1
+        self.peak_rows = max(self.peak_rows, len(self._rows))
+        return self._enforce_limits(now)
+
+    def _enforce_limits(self, now: float) -> list[dict]:
+        evicted: list[dict] = []
+        max_rows = self.definition.max_rows
+        max_bytes = self.definition.max_bytes
+        while ((max_rows is not None and len(self._rows) > max_rows)
+               or (max_bytes is not None
+                   and self.memory_bytes() > max_bytes)):
+            victim = self._least_important(now)
+            if victim is None:
+                break
+            evicted.append(self._row_values(victim, now))
+            del self._rows[victim.key]
+            self.eviction_count += 1
+            self.latch_acquisitions += 2
+        return evicted
+
+    def _least_important(self, now: float) -> _Row | None:
+        worst: _Row | None = None
+        worst_key: tuple | None = None
+        for row in self._rows.values():
+            key = self._importance_key(row, now)
+            if worst is None or key < worst_key:
+                worst = row
+                worst_key = key
+        return worst
+
+    def _importance_key(self, row: _Row, now: float) -> tuple:
+        """Sortable importance; the minimum is evicted first."""
+        if row.importance is not None and self._ordering_cacheable:
+            return row.importance
+        parts: list = []
+        n_groups = len(row.key)
+        for (index, descending) in self._order_indexes:
+            if index < n_groups:
+                value = row.key[index]
+            else:
+                state = row.states[index - n_groups]
+                if isinstance(state, AgingState):
+                    value = state.result(now)
+                else:
+                    value = self._functions[index - n_groups].result(state)
+            if value is None:
+                parts.append((0, 0))
+            elif descending:
+                parts.append((1, _Orderable(value, reverse=False)))
+            else:
+                parts.append((1, _Orderable(value, reverse=True)))
+        parts.append(row.seq)  # FIFO tie-break: older rows evict first
+        key = tuple(parts)
+        if self._ordering_cacheable:
+            row.importance = key
+        return key
+
+    def _ordered_values(self, row: _Row, now: float) -> list:
+        values = list(row.key)
+        for state, func in zip(row.states, self._functions):
+            if isinstance(state, AgingState):
+                values.append(state.result(now))
+            else:
+                values.append(func.result(state))
+        return values
+
+    def _row_values(self, row: _Row, now: float) -> dict:
+        columns = self.definition.column_names()
+        return dict(zip(columns, self._ordered_values(row, now)))
+
+    # -- reads --------------------------------------------------------------------
+
+    def lookup(self, key: tuple) -> dict | None:
+        """The row whose grouping columns equal ``key``, as a column dict."""
+        self.latch_acquisitions += 1
+        row = self._rows.get(tuple(key))
+        if row is None:
+            return None
+        return self._row_values(row, self._clock.now)
+
+    def lookup_object(self, source: "MonitoredObject | dict") -> dict | None:
+        """The row matching a monitored object's group-key probe values."""
+        return self.lookup(self.key_of(source))
+
+    def rows(self) -> list[dict]:
+        """All rows, most important first (the LAT's declared ordering)."""
+        now = self._clock.now
+        ordered = sorted(
+            self._rows.values(),
+            key=lambda row: self._importance_key(row, now),
+            reverse=True,
+        )
+        return [self._row_values(row, now) for row in ordered]
+
+    def reset(self) -> None:
+        """Clear all content and free memory (the Reset action)."""
+        self._rows.clear()
+        self.latch_acquisitions += 1
+
+    def delete_row(self, key: tuple) -> bool:
+        """Remove one group's row (e.g. to re-arm a threshold rule)."""
+        self.latch_acquisitions += 2
+        return self._rows.pop(tuple(key), None) is not None
+
+    def seed_row(self, persisted: dict[str, Any]) -> None:
+        """Reconstruct one row from persisted column values (LAT restore).
+
+        COUNT/SUM/MIN/MAX/FIRST/LAST restore exactly; AVG restores exactly
+        when the LAT also carries a COUNT column (else seeds with count 1);
+        STDEV re-seeds mean and count but loses within-window spread.
+        Aging aggregates seed a single block at the current time.
+        """
+        lowered = {k.lower(): v for k, v in persisted.items()}
+        key = tuple(
+            lowered.get(g.column.lower()) for g in self.definition.grouping
+        )
+        count_hint = None
+        for spec in self.definition.aggregations:
+            if spec.func == "COUNT":
+                value = lowered.get(spec.column.lower())
+                if isinstance(value, (int, float)):
+                    count_hint = int(value)
+                break
+        states: list = []
+        now = self._clock.now
+        for spec, func in zip(self.definition.aggregations, self._functions):
+            value = lowered.get(spec.column.lower())
+            state = self._seed_state(spec.func, func, value, count_hint)
+            if spec.aging is not None:
+                aging = AgingState(func, spec.aging)
+                if value is not None:
+                    block_start = (math.floor(now / spec.aging.delta)
+                                   * spec.aging.delta)
+                    aging.blocks.append((block_start, state))
+                states.append(aging)
+            else:
+                states.append(state)
+        row = _Row(key, states, self._seq)
+        self._seq += 1
+        self._rows[key] = row
+        self._enforce_limits(now)
+
+    @staticmethod
+    def _seed_state(func_name: str, func: AggregateFunction, value: Any,
+                    count_hint: int | None) -> Any:
+        if value is None:
+            return func.new_state()
+        if func_name == "COUNT":
+            return int(value)
+        if func_name in ("SUM", "MIN", "MAX", "FIRST", "LAST"):
+            state = func.new_state()
+            return func.update(state, value)
+        count = count_hint if count_hint and count_hint > 0 else 1
+        if func_name == "AVG":
+            return (count, value * count)
+        if func_name == "STDEV":
+            total = value * count  # value here is treated as the mean proxy
+            return (count, total, total * value)
+        return func.update(func.new_state(), value)  # pragma: no cover
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint (drives max_bytes limits)."""
+        n_columns = len(self.definition.column_names())
+        per_row = _ROW_OVERHEAD_BYTES + n_columns * _VALUE_BYTES
+        total = 0
+        for row in self._rows.values():
+            total += per_row
+            for state in row.states:
+                if isinstance(state, AgingState):
+                    total += state.block_count * _AGING_BLOCK_BYTES
+        return total
+
+
+class _Orderable:
+    """Total order over heterogeneous LAT values, optionally reversed.
+
+    The type rank is computed once at construction: importance keys are
+    memoized on rows and compared many times during eviction scans.
+    """
+
+    __slots__ = ("value", "reverse", "rank")
+
+    def __init__(self, value: Any, reverse: bool):
+        self.value = value
+        self.reverse = reverse
+        if isinstance(value, bool):
+            self.rank = (0, int(value))
+        elif isinstance(value, (int, float)):
+            self.rank = (0, value)
+        elif isinstance(value, str):
+            self.rank = (1, value)
+        elif isinstance(value, bytes):
+            self.rank = (2, value)
+        else:
+            self.rank = (3, repr(value))
+
+    def __lt__(self, other: "_Orderable") -> bool:
+        a, b = self.rank, other.rank
+        if a[0] != b[0]:
+            return a[0] < b[0]
+        return (a[1] > b[1]) if self.reverse else (a[1] < b[1])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Orderable) and self.rank == other.rank
+
+
+class NaiveListLAT(LAT):
+    """Ablation-only LAT: linear group lookup + full re-sort per insert.
+
+    Models a LAT without the paper's hash-plus-heap design; used by the A1
+    benchmark to show why the structure matters.
+    """
+
+    def insert(self, source) -> list[dict]:
+        key = self.key_of(source)
+        for candidate in list(self._rows):  # linear membership probe
+            if candidate == key:
+                break
+        evicted = super().insert(source)
+        # full re-sort after every insert (the naive ordered structure)
+        now = self._clock.now
+        sorted(self._rows.values(),
+               key=lambda row: self._importance_key(row, now))
+        return evicted
+
+    def lookup(self, key: tuple) -> dict | None:
+        key = tuple(key)
+        for candidate, row in self._rows.items():  # linear scan
+            if candidate == key:
+                return self._row_values(row, self._clock.now)
+        return None

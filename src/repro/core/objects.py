@@ -1,0 +1,204 @@
+"""Monitored objects: probe values assembled on demand.
+
+Section 4.1: probes are "assembled into monitored objects on demand (i.e.,
+at the time of rule-evaluation)".  A :class:`MonitoredObject` therefore holds
+a reference to the underlying engine object (a
+:class:`~repro.engine.query.QueryContext`, a transaction, a timer) and
+extracts attribute values lazily when a rule condition or a LAT insert reads
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.schema import MonitoredClassDef
+from repro.errors import SchemaError
+
+_Extractor = Callable[..., Any]
+
+
+class MonitoredObject:
+    """One instance of a monitored class with lazy probe extraction."""
+
+    __slots__ = ("class_def", "_extractors", "_extra", "source")
+
+    def __init__(self, class_def: MonitoredClassDef,
+                 extractors: dict[str, _Extractor],
+                 extra: dict[str, Any] | None = None,
+                 source: Any = None):
+        self.class_def = class_def
+        self._extractors = extractors
+        self._extra = extra or {}
+        self.source = source
+
+    @property
+    def class_name(self) -> str:
+        return self.class_def.name
+
+    def get(self, attribute: str) -> Any:
+        """Probe one attribute (case-insensitive)."""
+        key = attribute.lower()
+        if key in self._extra:
+            return self._extra[key]
+        extractor = self._extractors.get(key)
+        if extractor is None:
+            raise SchemaError(
+                f"class {self.class_name} exposes no probe {attribute!r}"
+            )
+        return extractor()
+
+    def snapshot(self, attributes: list[str] | None = None) -> dict[str, Any]:
+        """Materialize attribute values into a plain dict."""
+        if attributes is None:
+            attributes = list(self.class_def.attributes)
+        return {name: self.get(name) for name in attributes}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MonitoredObject({self.class_name})"
+
+
+class ObjectFactory:
+    """Builds monitored objects from engine-side records.
+
+    The factory needs the SQLCM engine for cross-cutting probes
+    (``Number_of_instances`` comes from SQLCM's per-signature instance
+    counter; transaction signatures come from the signature registry).
+    """
+
+    def __init__(self, sqlcm):
+        self._sqlcm = sqlcm
+        self._clock = sqlcm.server.clock
+
+    # -- Query / Blocker / Blocked -----------------------------------------------
+
+    def query(self, qctx, class_def: MonitoredClassDef | None = None,
+              extra: dict[str, Any] | None = None) -> MonitoredObject:
+        """Wrap a QueryContext as a Query (or Blocker/Blocked) object."""
+        cls = class_def or self._sqlcm.schema.monitored_class("Query")
+        clock = self._clock
+        sqlcm = self._sqlcm
+        extractors = {
+            "id": lambda: qctx.query_id,
+            "query_text": lambda: qctx.text,
+            "logical_signature": lambda: qctx.logical_signature,
+            "physical_signature": lambda: qctx.physical_signature,
+            "start_time": lambda: qctx.start_time,
+            "duration": lambda: qctx.duration_at(clock.now),
+            "estimated_cost": lambda: qctx.estimated_cost,
+            "time_blocked": lambda: qctx.time_blocked,
+            "times_blocked": lambda: qctx.times_blocked,
+            "queries_blocked": lambda: qctx.queries_blocked,
+            "time_blocking_others": lambda: qctx.time_blocking_others,
+            "number_of_instances": lambda: sqlcm.instance_count(
+                qctx.logical_signature),
+            "query_type": lambda: qctx.query_type,
+            "user": lambda: qctx.user,
+            "application": lambda: qctx.application,
+            "rows_affected": lambda: qctx.rows_affected,
+            "estimated_rows": lambda: (qctx.plan.estimated_rows
+                                       if qctx.plan is not None else 0.0),
+            "actual_rows": lambda: (len(qctx.result_rows)
+                                    if qctx.query_type == "SELECT"
+                                    else qctx.rows_affected),
+            "wait_time": lambda: 0.0,
+            "resource": lambda: (str(qctx.blocked_on)
+                                 if qctx.blocked_on is not None else None),
+        }
+        return MonitoredObject(cls, extractors, extra, source=qctx)
+
+    def blocker(self, qctx, resource, wait_time: float = 0.0) -> MonitoredObject:
+        cls = self._sqlcm.schema.monitored_class("Blocker")
+        return self.query(qctx, cls, extra={
+            "wait_time": wait_time, "resource": str(resource),
+        })
+
+    def blocked(self, qctx, resource, wait_time: float) -> MonitoredObject:
+        cls = self._sqlcm.schema.monitored_class("Blocked")
+        return self.query(qctx, cls, extra={
+            "wait_time": wait_time, "resource": str(resource),
+        })
+
+    # -- Transaction --------------------------------------------------------------
+
+    def transaction(self, txn, statements: list) -> MonitoredObject:
+        cls = self._sqlcm.schema.monitored_class("Transaction")
+        clock = self._clock
+        sqlcm = self._sqlcm
+
+        def duration() -> float:
+            end = txn.end_time if txn.end_time is not None else clock.now
+            return max(0.0, end - txn.start_time)
+
+        def text() -> str:
+            return "; ".join(q.text for q in statements)
+
+        first = statements[0] if statements else None
+        extractors = {
+            "id": lambda: txn.txn_id,
+            "query_text": text,
+            "logical_signature": lambda: sqlcm.transaction_signature(
+                statements, physical=False),
+            "physical_signature": lambda: sqlcm.transaction_signature(
+                statements, physical=True),
+            "start_time": lambda: txn.start_time,
+            "duration": duration,
+            "estimated_cost": lambda: sum(q.estimated_cost
+                                          for q in statements),
+            "time_blocked": lambda: sum(q.time_blocked for q in statements),
+            "times_blocked": lambda: sum(q.times_blocked
+                                         for q in statements),
+            "queries_blocked": lambda: sum(q.queries_blocked
+                                           for q in statements),
+            "statement_count": lambda: len(statements),
+            "user": lambda: first.user if first else "",
+            "application": lambda: first.application if first else "",
+        }
+        return MonitoredObject(cls, extractors, source=txn)
+
+    # -- Session ------------------------------------------------------------------
+
+    def session(self, session) -> MonitoredObject:
+        """Wrap an engine session (successful login/logout events)."""
+        cls = self._sqlcm.schema.monitored_class("Session")
+        clock = self._clock
+        extractors = {
+            "id": lambda: session.session_id,
+            "user": lambda: session.user,
+            "application": lambda: session.application,
+            "login_time": lambda: clock.now,
+        }
+        return MonitoredObject(cls, extractors, source=session)
+
+    def failed_login(self, payload: dict) -> MonitoredObject:
+        """A Session object for a *failed* login (no real session exists)."""
+        cls = self._sqlcm.schema.monitored_class("Session")
+        return MonitoredObject(cls, {}, extra={
+            "id": 0,
+            "user": payload.get("user"),
+            "application": payload.get("application"),
+            "login_time": payload.get("time"),
+        })
+
+    # -- Timer -------------------------------------------------------------------
+
+    def timer(self, timer) -> MonitoredObject:
+        cls = self._sqlcm.schema.monitored_class("Timer")
+        clock = self._clock
+        extractors = {
+            "id": lambda: timer.timer_id,
+            "name": lambda: timer.name,
+            "current_time": lambda: clock.now,
+            "interval": lambda: timer.interval,
+            "remaining_alarms": lambda: timer.remaining,
+        }
+        return MonitoredObject(cls, extractors, source=timer)
+
+    # -- LAT evicted rows -----------------------------------------------------------
+
+    def evicted_row(self, lat_name: str, row_values: dict[str, Any]
+                    ) -> MonitoredObject:
+        cls = self._sqlcm.schema.monitored_class("Evicted")
+        extra = {key.lower(): value for key, value in row_values.items()}
+        extra["lat_name"] = lat_name
+        return MonitoredObject(cls, {}, extra, source=row_values)

@@ -1,0 +1,53 @@
+"""ECA rule objects (paper Section 5).
+
+A rule is an event ``E``, an optional condition ``C``, and a list of
+actions ``A`` executed in order whenever ``E`` occurs and ``C`` evaluates
+true.  Rules are evaluated in a fixed (registration) order, and all rules
+for an event are processed before any event raised as a side effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RuleError
+
+
+@dataclass
+class Rule:
+    """One Event-Condition-Action rule.
+
+    ``event`` has the form ``Class.Event`` (``"Query.Commit"``,
+    ``"Timer.Alert"``).  ``condition`` is condition-language text or None
+    (always fire).  ``actions`` is a non-empty ordered list of action
+    objects from :mod:`repro.core.actions`.
+    """
+
+    name: str
+    event: str
+    actions: list[Any]
+    condition: str | None = None
+    enabled: bool = True
+
+    # bound by SQLCM.add_rule
+    event_class: Any = field(default=None, repr=False)
+    event_def: Any = field(default=None, repr=False)
+    compiled_condition: Any = field(default=None, repr=False)
+
+    # statistics
+    fire_count: int = 0
+    evaluation_count: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise RuleError("rule needs a name")
+        if not self.actions:
+            raise RuleError(f"rule {self.name!r} needs at least one action")
+
+    @property
+    def atomic_condition_count(self) -> int:
+        """Number of atomic (comparison) conditions — the unit of Figure 2."""
+        if self.compiled_condition is None:
+            return 0
+        return self.compiled_condition.atomic_count

@@ -1,0 +1,236 @@
+"""The SQLCM schema: monitored classes, their probes, and their events.
+
+This is the paper's Appendix A.  Five monitored classes are exposed:
+``Query``, ``Transaction``, ``Blocker``, ``Blocked``, and ``Timer``.
+``Blocker``/``Blocked`` share the Query schema (they *are* queries, viewed
+through a lock conflict) plus a ``Wait_Time`` attribute for the current
+conflict.  ``User`` and ``Application`` attributes are included because
+Section 2.3 groups queries "by the application (or user) that issued them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.types import SQLType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One probe exposed as an attribute of a monitored class."""
+
+    name: str
+    sql_type: SQLType
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One event of a monitored class, tied to an engine event name."""
+
+    name: str
+    engine_event: str
+    doc: str = ""
+
+
+class MonitoredClassDef:
+    """A monitored class: attribute and event registries."""
+
+    def __init__(self, name: str, attributes: list[AttributeDef],
+                 events: list[EventDef]):
+        self.name = name
+        self.attributes: dict[str, AttributeDef] = {
+            a.name.lower(): a for a in attributes
+        }
+        self.events: dict[str, EventDef] = {e.name.lower(): e for e in events}
+
+    def attribute(self, name: str) -> AttributeDef:
+        try:
+            return self.attributes[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name} has no attribute {name!r}"
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name.lower() in self.attributes
+
+    def event(self, name: str) -> EventDef:
+        try:
+            return self.events[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name} has no event {name!r}"
+            ) from None
+
+
+class SQLCMSchema:
+    """The complete schema: all monitored classes, indexed by name."""
+
+    def __init__(self, classes: list[MonitoredClassDef]):
+        self._classes = {c.name.lower(): c for c in classes}
+
+    def monitored_class(self, name: str) -> MonitoredClassDef:
+        try:
+            return self._classes[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown monitored class {name!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name.lower() in self._classes
+
+    def classes(self) -> list[MonitoredClassDef]:
+        return list(self._classes.values())
+
+    def resolve_event(self, spec: str) -> tuple[MonitoredClassDef, EventDef]:
+        """Resolve a ``Class.Event`` rule event spec."""
+        if "." not in spec:
+            raise SchemaError(
+                f"event spec {spec!r} must have the form Class.Event"
+            )
+        class_name, __, event_name = spec.partition(".")
+        cls = self.monitored_class(class_name)
+        return cls, cls.event(event_name)
+
+    def register_class(self, cls: MonitoredClassDef) -> None:
+        """Extension point: add a new monitored class (paper Section 4.1
+        describes a generic interface to integrate new monitored objects)."""
+        key = cls.name.lower()
+        if key in self._classes:
+            raise SchemaError(f"class {cls.name!r} already registered")
+        self._classes[key] = cls
+
+
+def _query_attributes() -> list[AttributeDef]:
+    return [
+        AttributeDef("ID", SQLType.INTEGER, "query id"),
+        AttributeDef("Query_Text", SQLType.STRING, "query text string"),
+        AttributeDef("Logical_Signature", SQLType.BLOB,
+                     "logical query signature (Section 4.2)"),
+        AttributeDef("Physical_Signature", SQLType.BLOB,
+                     "physical plan signature (Section 4.2)"),
+        AttributeDef("Start_Time", SQLType.DATETIME, "virtual start time"),
+        AttributeDef("Duration", SQLType.FLOAT,
+                     "total execution time so far (seconds)"),
+        AttributeDef("Estimated_Cost", SQLType.FLOAT,
+                     "optimizer cost estimate"),
+        AttributeDef("Time_Blocked", SQLType.FLOAT,
+                     "total time spent waiting on locks"),
+        AttributeDef("Times_Blocked", SQLType.INTEGER,
+                     "number of lock waits"),
+        AttributeDef("Queries_Blocked", SQLType.INTEGER,
+                     "number of queries this query blocked"),
+        AttributeDef("Time_Blocking_Others", SQLType.FLOAT,
+                     "total delay imposed on other queries"),
+        AttributeDef("Number_of_instances", SQLType.INTEGER,
+                     "executions sharing this logical signature"),
+        AttributeDef("Query_Type", SQLType.STRING,
+                     "UPDATE | SELECT | INSERT | DELETE"),
+        AttributeDef("User", SQLType.STRING, "login that issued the query"),
+        AttributeDef("Application", SQLType.STRING,
+                     "application that issued the query"),
+        AttributeDef("Rows_Affected", SQLType.INTEGER,
+                     "rows returned or modified"),
+        AttributeDef("Estimated_Rows", SQLType.FLOAT,
+                     "optimizer cardinality estimate at the plan root"),
+        AttributeDef("Actual_Rows", SQLType.INTEGER,
+                     "rows actually produced/modified (drives the "
+                     "statistics-drift monitor of Section 2.1)"),
+    ]
+
+
+def _blocked_pair_attributes() -> list[AttributeDef]:
+    return _query_attributes() + [
+        AttributeDef("Wait_Time", SQLType.FLOAT,
+                     "time waited in the current lock conflict"),
+        AttributeDef("Resource", SQLType.STRING,
+                     "lock resource in conflict"),
+    ]
+
+
+QUERY_CLASS = MonitoredClassDef(
+    "Query",
+    _query_attributes(),
+    [
+        EventDef("Start", "query.start"),
+        EventDef("Compile", "query.compile"),
+        EventDef("Commit", "query.commit"),
+        EventDef("Cancel", "query.cancel"),
+        EventDef("Rollback", "query.rollback"),
+        EventDef("Blocked", "query.blocked"),
+        EventDef("Block_Released", "query.block_released"),
+    ],
+)
+
+TRANSACTION_CLASS = MonitoredClassDef(
+    "Transaction",
+    [
+        AttributeDef("ID", SQLType.INTEGER),
+        AttributeDef("Query_Text", SQLType.STRING,
+                     "concatenated statement texts"),
+        AttributeDef("Logical_Signature", SQLType.BLOB,
+                     "logical transaction signature (sequence of ids)"),
+        AttributeDef("Physical_Signature", SQLType.BLOB,
+                     "physical transaction signature (sequence of ids)"),
+        AttributeDef("Start_Time", SQLType.DATETIME),
+        AttributeDef("Duration", SQLType.FLOAT),
+        AttributeDef("Estimated_Cost", SQLType.FLOAT,
+                     "sum over statements"),
+        AttributeDef("Time_Blocked", SQLType.FLOAT),
+        AttributeDef("Times_Blocked", SQLType.INTEGER),
+        AttributeDef("Queries_Blocked", SQLType.INTEGER),
+        AttributeDef("Statement_Count", SQLType.INTEGER),
+        AttributeDef("User", SQLType.STRING),
+        AttributeDef("Application", SQLType.STRING),
+    ],
+    [
+        EventDef("Begin", "txn.begin"),
+        EventDef("Commit", "txn.commit"),
+        EventDef("Rollback", "txn.rollback"),
+    ],
+)
+
+BLOCKER_CLASS = MonitoredClassDef("Blocker", _blocked_pair_attributes(), [])
+BLOCKED_CLASS = MonitoredClassDef("Blocked", _blocked_pair_attributes(), [])
+
+SESSION_CLASS = MonitoredClassDef(
+    "Session",
+    [
+        AttributeDef("ID", SQLType.INTEGER, "session id (0 on failed login)"),
+        AttributeDef("User", SQLType.STRING),
+        AttributeDef("Application", SQLType.STRING),
+        AttributeDef("Login_Time", SQLType.DATETIME),
+    ],
+    [
+        EventDef("Login", "session.login"),
+        EventDef("Login_Failed", "session.login_failed",
+                 "a credential check failed (Example 4b auditing)"),
+        EventDef("Logout", "session.logout"),
+    ],
+)
+
+TIMER_CLASS = MonitoredClassDef(
+    "Timer",
+    [
+        AttributeDef("ID", SQLType.INTEGER),
+        AttributeDef("Name", SQLType.STRING),
+        AttributeDef("Current_Time", SQLType.DATETIME,
+                     "current virtual time"),
+        AttributeDef("Interval", SQLType.FLOAT, "seconds between alerts"),
+        AttributeDef("Remaining_Alarms", SQLType.INTEGER,
+                     "alarms left (negative = infinite)"),
+    ],
+    [EventDef("Alert", "timer.alert")],
+)
+
+EVICTED_ROW_CLASS = MonitoredClassDef(
+    "Evicted",
+    [],  # attributes are the evicting LAT's columns, resolved dynamically
+    [EventDef("Evict", "lat.evict")],
+)
+
+SCHEMA = SQLCMSchema([
+    QUERY_CLASS, TRANSACTION_CLASS, BLOCKER_CLASS, BLOCKED_CLASS,
+    SESSION_CLASS, TIMER_CLASS, EVICTED_ROW_CLASS,
+])

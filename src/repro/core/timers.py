@@ -1,0 +1,75 @@
+"""Timer monitored objects: periodic rule invocation (paper Section 5.1).
+
+Timers let rules fire when condition evaluation "cannot be tied to a system
+event" — e.g. reporting queries blocked longer than a threshold.  Each armed
+timer runs as a scheduler process that sleeps its interval, raises
+``Timer.Alert``, and repeats for the configured number of alarms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sim.scheduler import Delay
+
+
+@dataclass
+class TimerObject:
+    """One timer: interval seconds between alarms, remaining repeat count
+    (negative = infinite, 0 = disabled)."""
+
+    timer_id: int
+    name: str
+    interval: float = 0.0
+    remaining: int = 0
+    generation: int = 0  # bumped by Set(); stale processes exit
+
+    @property
+    def enabled(self) -> bool:
+        return self.remaining != 0 and self.interval > 0
+
+
+class TimerService:
+    """Creates and (re)arms timers as scheduler processes."""
+
+    def __init__(self, sqlcm):
+        self._sqlcm = sqlcm
+        self._timers: dict[str, TimerObject] = {}
+        self._next_id = 1
+
+    def timers(self) -> list[TimerObject]:
+        return list(self._timers.values())
+
+    def get(self, name: str) -> TimerObject | None:
+        return self._timers.get(name.lower())
+
+    def set(self, name: str, interval: float, repeats: int) -> TimerObject:
+        """Arm (or disarm, with repeats=0) a timer; spawns its process."""
+        timer = self._timers.get(name.lower())
+        if timer is None:
+            timer = TimerObject(self._next_id, name)
+            self._next_id += 1
+            self._timers[name.lower()] = timer
+        timer.interval = float(interval)
+        timer.remaining = int(repeats)
+        timer.generation += 1
+        if timer.enabled:
+            self._sqlcm.server.scheduler.spawn(
+                f"timer-{name}", self._timer_process(timer, timer.generation)
+            )
+        return timer
+
+    def _timer_process(self, timer: TimerObject,
+                       generation: int) -> Iterator:
+        server = self._sqlcm.server
+        while timer.generation == generation and timer.enabled:
+            yield Delay(timer.interval)
+            if timer.generation != generation or not timer.enabled:
+                return
+            server.add_monitor_cost(server.costs.timer_fire)
+            self._sqlcm.dispatch_event("timer.alert", {"timer": timer})
+            # the alert's rule work executes in this background thread
+            yield Delay(server.take_monitor_cost())
+            if timer.remaining > 0:
+                timer.remaining -= 1

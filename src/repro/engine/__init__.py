@@ -1,0 +1,34 @@
+"""The relational database engine substrate.
+
+The paper implements SQLCM inside Microsoft SQL Server.  This package is the
+from-scratch stand-in: an in-memory relational engine with a SQL dialect,
+cost-based planning, a Volcano-style executor, multi-granularity two-phase
+locking, transactions with undo logging, and a cooperative session scheduler
+running on a virtual clock.  Its purpose is to expose the *hook points*
+SQLCM instruments — query lifecycle events, plan trees for signatures, the
+lock waits-for graph for Blocker/Blocked pairs — with realistic dynamics.
+"""
+
+from repro.engine.catalog import (Catalog, ColumnDef, IfStep, IndexDef,
+                                  ProcedureDef, TableSchema)
+from repro.engine.query import QueryContext, QueryState
+from repro.engine.server import DatabaseServer, ServerConfig
+from repro.engine.session import Session, Statement, StatementResult
+from repro.engine.types import SQLType
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "IndexDef",
+    "IfStep",
+    "ProcedureDef",
+    "TableSchema",
+    "DatabaseServer",
+    "ServerConfig",
+    "Session",
+    "Statement",
+    "StatementResult",
+    "QueryContext",
+    "QueryState",
+    "SQLType",
+]

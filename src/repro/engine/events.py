@@ -1,0 +1,74 @@
+"""The server's internal event bus — the instrumentation surface for SQLCM.
+
+Engine components publish lifecycle events here; SQLCM's monitoring engine
+subscribes.  Dispatch is synchronous, in the publisher's (simulated)
+execution path, which is what gives SQLCM its no-context-switch,
+no-missed-events property (paper Sections 2.1 and 6.1).
+
+Event names and payload keys:
+
+===================== =====================================================
+``query.start``       {"query": QueryContext}
+``query.compile``     {"query": QueryContext, "cached": bool}
+``query.commit``      {"query": QueryContext}
+``query.cancel``      {"query": QueryContext}
+``query.rollback``    {"query": QueryContext}
+``query.blocked``     {"query", "resource", "blockers": [QueryContext]}
+``query.block_released`` {"query", "blocker", "resource", "wait_time"}
+``txn.begin``         {"txn": Transaction, "session": Session}
+``txn.commit``        {"txn", "session", "statements": [QueryContext]}
+``txn.rollback``      {"txn", "session", "statements": [QueryContext]}
+``session.login``     {"session": Session}
+``session.logout``    {"session": Session}
+``timer.alert``       {"timer": TimerObject}
+===================== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Handler = Callable[[str, dict], None]
+
+EVENT_NAMES = frozenset({
+    "query.start", "query.compile", "query.commit", "query.cancel",
+    "query.rollback", "query.blocked", "query.block_released",
+    "txn.begin", "txn.commit", "txn.rollback",
+    "session.login", "session.login_failed", "session.logout",
+    "timer.alert",
+})
+
+
+class EventBus:
+    """Synchronous publish/subscribe with per-event handler lists."""
+
+    def __init__(self):
+        self._handlers: dict[str, list[Handler]] = {}
+        self._any_handlers: list[Handler] = []
+        self.published_count = 0
+
+    def subscribe(self, event: str, handler: Handler) -> None:
+        """Subscribe to one event name, or ``"*"`` for all events."""
+        if event == "*":
+            self._any_handlers.append(handler)
+            return
+        if event not in EVENT_NAMES:
+            raise ValueError(f"unknown event {event!r}")
+        self._handlers.setdefault(event, []).append(handler)
+
+    def unsubscribe(self, event: str, handler: Handler) -> None:
+        if event == "*":
+            self._any_handlers.remove(handler)
+            return
+        self._handlers.get(event, []).remove(handler)
+
+    def has_subscribers(self, event: str) -> bool:
+        return bool(self._handlers.get(event)) or bool(self._any_handlers)
+
+    def publish(self, event: str, payload: dict[str, Any]) -> None:
+        """Deliver synchronously to all subscribers, in subscription order."""
+        self.published_count += 1
+        for handler in self._handlers.get(event, ()):
+            handler(event, payload)
+        for handler in self._any_handlers:
+            handler(event, payload)

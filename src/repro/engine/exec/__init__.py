@@ -1,0 +1,12 @@
+"""Volcano-style execution: operators as generators over the virtual clock.
+
+Operators yield output rows interleaved with :class:`~repro.sim.WaitLock`
+suspension markers, which parents forward upward; the session process passes
+them to the scheduler.  All per-row work charges the cost model through the
+:class:`~repro.engine.exec.context.ExecContext`.
+"""
+
+from repro.engine.exec.context import ExecContext
+from repro.engine.exec.operators import execute_plan
+
+__all__ = ["ExecContext", "execute_plan"]

@@ -1,0 +1,13 @@
+"""Query planning: binding, logical plans, optimization, physical plans.
+
+The logical plan tree is also the input to SQLCM's *logical query signature*
+(Section 4.2 of the paper); the physical plan tree feeds the *physical plan
+signature*.  The plan cache stores compiled plans keyed by normalized query
+text, and — exactly as the paper describes — caches the signatures alongside
+the plan so they are rarely recomputed.
+"""
+
+from repro.engine.planner.optimizer import Optimizer
+from repro.engine.planner.plancache import PlanCache
+
+__all__ = ["Optimizer", "PlanCache"]

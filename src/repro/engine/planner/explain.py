@@ -1,0 +1,84 @@
+"""EXPLAIN: human-readable rendering of physical plans.
+
+Used by the CLI's ``.explain`` command and by tests asserting plan shapes;
+also prints the plan's signature linearizations, which makes the Section
+4.2 machinery inspectable.
+"""
+
+from __future__ import annotations
+
+from repro.engine.planner import physical as phys
+
+
+def explain_plan(node: phys.PhysicalNode, indent: int = 0) -> str:
+    """Indented operator tree with estimates, top-down."""
+    lines: list[str] = []
+    _render(node, indent, lines)
+    return "\n".join(lines)
+
+
+def _render(node: phys.PhysicalNode, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    detail = _detail(node)
+    lines.append(
+        f"{pad}{node.label()}{detail}  "
+        f"(rows={node.estimated_rows:.0f}, "
+        f"cost={node.estimated_cost * 1e3:.3f}ms)"
+    )
+    for child in node.children:
+        _render(child, depth + 1, lines)
+
+
+def _detail(node: phys.PhysicalNode) -> str:
+    if isinstance(node, phys.PhysTableScan):
+        parts = []
+        if node.filter_expr is not None:
+            parts.append("filtered")
+        if node.lock_mode != "S":
+            parts.append(f"lock={node.lock_mode}")
+        return f" [{', '.join(parts)}]" if parts else ""
+    if isinstance(node, phys.PhysIndexSeek):
+        parts = [f"keys={len(node.eq_fns)}"]
+        if node.range_low_fn is not None or node.range_high_fn is not None:
+            parts.append("range")
+        if node.filter_expr is not None:
+            parts.append("residual")
+        if node.lock_mode != "S":
+            parts.append(f"lock={node.lock_mode}")
+        return f" [{', '.join(parts)}]"
+    if isinstance(node, phys.PhysHashJoin):
+        residual = ", residual" if node.residual_fn is not None else ""
+        return f" [keys={len(node.left_key_fns)}{residual}]"
+    if isinstance(node, phys.PhysSort):
+        directions = ",".join("desc" if d else "asc"
+                              for d in node.descending)
+        return f" [{directions}]"
+    if isinstance(node, phys.PhysAggregate):
+        return " [scalar]" if node.scalar else \
+            f" [groups={len(node.group_fns)}]"
+    return ""
+
+
+def explain_query(server, sql: str) -> str:
+    """Compile (via the normal pipeline, warming the plan cache) and render
+    the plan plus its signature linearizations."""
+    from repro.core.signatures import (linearize_logical,
+                                       linearize_physical)
+    from repro.engine.planner.logical import build_logical_plan
+    from repro.engine.sqlparse.parser import parse_statement
+
+    entry = server.plan_cache.get(sql)
+    if entry is None:
+        stmt = parse_statement(sql)
+        logical = build_logical_plan(stmt, server.catalog)
+        physical = server.optimizer.optimize(logical)
+    else:
+        logical = entry.logical
+        physical = entry.physical
+    sections = [
+        explain_plan(physical),
+        "",
+        f"logical signature : {linearize_logical(logical)}",
+        f"physical signature: {linearize_physical(physical)}",
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,579 @@
+"""The query optimizer: logical plan → costed physical plan.
+
+Implements the transformations the paper's host engine (SQL Server) applies
+that matter for SQLCM's behaviour:
+
+* predicate pushdown to base-table accesses,
+* index selection (equality prefix + one range bound + residual filter),
+* hash joins for equi-joins, nested loops otherwise,
+* hash aggregation, sort, limit, projection,
+* per-node cost/row estimates — the source of ``Query.Estimated_Cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.catalog import Catalog, IndexDef
+from repro.engine.planner import physical as phys
+from repro.engine.planner.exprs import (CompiledExpr, OutputCol, Scope,
+                                        compile_expr, conjoin,
+                                        referenced_bindings, split_conjuncts)
+from repro.engine.planner.logical import (LogicalAggregate, LogicalDelete,
+                                          LogicalDistinct, LogicalFilter,
+                                          LogicalGet, LogicalInsert,
+                                          LogicalJoin, LogicalLimit,
+                                          LogicalNode, LogicalProject,
+                                          LogicalSingleRow, LogicalSort,
+                                          LogicalUpdate)
+from repro.engine.sqlparse import ast_nodes as ast
+from repro.errors import PlanError
+from repro.sim.costs import CostModel
+
+StatsFn = Callable[[str], int]
+
+_EMPTY_SCOPE = Scope(())
+
+
+@dataclass
+class _Sarg:
+    """A sargable conjunct: column op constant-expression."""
+
+    column: str
+    op: str  # '=', '<', '>', '<=', '>='
+    value_fn: CompiledExpr
+    source: ast.Expr
+
+
+def _constant_expr(expr: ast.Expr) -> bool:
+    """True if the expression references no columns (literals/params/arith)."""
+    return not any(
+        isinstance(node, ast.ColumnRef) for node in ast.walk(expr)
+    )
+
+
+_FLIP = {"=": "=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _extract_sarg(conjunct: ast.Expr, binding: str,
+                  scope: Scope) -> _Sarg | None:
+    """Recognize ``col op const`` (or flipped) against the given binding."""
+    if isinstance(conjunct, ast.Between):
+        return None  # handled by caller via expansion
+    if not isinstance(conjunct, ast.BinaryOp):
+        return None
+    if conjunct.op not in ("=", "<", ">", "<=", ">="):
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(right, ast.ColumnRef) and not isinstance(left, ast.ColumnRef):
+        left, right = right, left
+        op = _FLIP[op]
+    if not isinstance(left, ast.ColumnRef):
+        return None
+    if left.table and left.table.lower() != binding.lower():
+        return None
+    if not _constant_expr(right):
+        return None
+    return _Sarg(left.name.lower(), op, compile_expr(right, _EMPTY_SCOPE),
+                 conjunct)
+
+
+def _expand_between(conjuncts: list[ast.Expr]) -> list[ast.Expr]:
+    """Rewrite BETWEEN into two range conjuncts so index matching sees them."""
+    expanded: list[ast.Expr] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.Between) and not conjunct.negated:
+            expanded.append(ast.BinaryOp(">=", conjunct.operand, conjunct.low))
+            expanded.append(ast.BinaryOp("<=", conjunct.operand,
+                                         conjunct.high))
+        else:
+            expanded.append(conjunct)
+    return expanded
+
+
+class Optimizer:
+    """Produces costed physical plans from logical plans."""
+
+    def __init__(self, catalog: Catalog, stats: StatsFn,
+                 costs: CostModel | None = None):
+        self._catalog = catalog
+        self._stats = stats
+        self._costs = costs or CostModel()
+
+    # -- public entry ---------------------------------------------------------
+
+    def optimize(self, logical: LogicalNode) -> phys.PhysicalNode:
+        """Build the physical plan for a bound logical plan."""
+        if isinstance(logical, LogicalInsert):
+            return self._plan_insert(logical)
+        if isinstance(logical, LogicalUpdate):
+            return self._plan_update(logical)
+        if isinstance(logical, LogicalDelete):
+            return self._plan_delete(logical)
+        return self._plan(logical)
+
+    # -- SELECT pipeline -------------------------------------------------------
+
+    def _plan(self, node: LogicalNode) -> phys.PhysicalNode:
+        if isinstance(node, LogicalSingleRow):
+            return phys.PhysSingleRow()
+        if isinstance(node, LogicalGet):
+            return self._access_path(node.table, node.binding, [],
+                                     node.columns)
+        if isinstance(node, LogicalJoin):
+            return self._plan_join_tree(node, [])
+        if isinstance(node, LogicalFilter):
+            return self._plan_filter(node)
+        if isinstance(node, LogicalAggregate):
+            return self._plan_aggregate(node)
+        if isinstance(node, LogicalSort):
+            child = self._plan(node.child)
+            scope = Scope(child.columns)
+            key_fns = tuple(compile_expr(expr, scope)
+                            for expr, __ in node.keys)
+            descending = tuple(desc for __, desc in node.keys)
+            plan = phys.PhysSort(child, key_fns, descending,
+                                 columns=child.columns)
+            plan.estimated_rows = child.estimated_rows
+            plan.estimated_cost = child.estimated_cost + \
+                self._costs.sort_cost(int(child.estimated_rows) or 1)
+            return plan
+        if isinstance(node, LogicalLimit):
+            child = self._plan(node.child)
+            plan = phys.PhysLimit(child, node.count, columns=child.columns)
+            plan.estimated_rows = min(child.estimated_rows, node.count)
+            plan.estimated_cost = child.estimated_cost
+            return plan
+        if isinstance(node, LogicalProject):
+            child = self._plan(node.child)
+            scope = Scope(child.columns)
+            item_fns = tuple(compile_expr(expr, scope)
+                             for expr, __ in node.items)
+            plan = phys.PhysProject(child, item_fns, columns=node.columns)
+            plan.estimated_rows = child.estimated_rows
+            plan.estimated_cost = child.estimated_cost + \
+                child.estimated_rows * self._costs.project_per_row
+            return plan
+        if isinstance(node, LogicalDistinct):
+            child = self._plan(node.child)
+            plan = phys.PhysDistinct(child, columns=child.columns)
+            plan.estimated_rows = max(1.0, child.estimated_rows * 0.5)
+            plan.estimated_cost = child.estimated_cost + \
+                child.estimated_rows * self._costs.hash_probe_per_row
+            return plan
+        raise PlanError(f"cannot plan logical node {type(node).__name__}")
+
+    def _plan_filter(self, node: LogicalFilter) -> phys.PhysicalNode:
+        conjuncts = _expand_between(split_conjuncts(node.predicate))
+        child = node.child
+        if isinstance(child, LogicalGet):
+            return self._access_path(child.table, child.binding, conjuncts,
+                                     child.columns)
+        if isinstance(child, LogicalJoin):
+            return self._plan_join_tree(child, conjuncts)
+        planned = self._plan(child)
+        return self._wrap_filter(planned, conjuncts)
+
+    def _wrap_filter(self, child: phys.PhysicalNode,
+                     conjuncts: list[ast.Expr]) -> phys.PhysicalNode:
+        predicate = conjoin(conjuncts)
+        if predicate is None:
+            return child
+        scope = Scope(child.columns)
+        plan = phys.PhysFilter(child, predicate,
+                               compile_expr(predicate, scope),
+                               columns=child.columns)
+        selectivity = 1.0
+        for conjunct in conjuncts:
+            selectivity *= self._selectivity(conjunct)
+        plan.estimated_rows = max(1.0, child.estimated_rows * selectivity)
+        plan.estimated_cost = child.estimated_cost + \
+            child.estimated_rows * self._costs.predicate_eval
+        return plan
+
+    # -- join planning ----------------------------------------------------------
+
+    def _plan_join_tree(self, root: LogicalJoin,
+                        where_conjuncts: list[ast.Expr]) -> phys.PhysicalNode:
+        gets: list[LogicalGet] = []
+        join_steps: list[tuple[LogicalGet, ast.Expr, str]] = []
+
+        def flatten(node: LogicalNode) -> None:
+            if isinstance(node, LogicalJoin):
+                flatten(node.left)
+                if not isinstance(node.right, LogicalGet):
+                    raise PlanError("join right side must be a base table")
+                gets.append(node.right)
+                join_steps.append((node.right, node.condition, node.kind))
+            elif isinstance(node, LogicalGet):
+                gets.append(node)
+            else:
+                raise PlanError("unsupported join tree shape")
+
+        flatten(root)
+        unqualified = self._unqualified_binding_map(gets)
+        # bindings on the nullable side of a LEFT join: WHERE predicates on
+        # them must run after the join (pushing them below would discard
+        # the NULL-extended rows)
+        nullable = {get.binding.lower()
+                    for get, __, kind in join_steps if kind == "LEFT"}
+
+        per_get: dict[str, list[ast.Expr]] = {g.binding.lower(): []
+                                              for g in gets}
+        deferred: list[tuple[set[str], ast.Expr]] = []
+        final_filters: list[ast.Expr] = []
+        all_conjuncts = list(where_conjuncts)
+        for get, condition, kind in join_steps:
+            if kind == "INNER":
+                all_conjuncts.extend(
+                    _expand_between(split_conjuncts(condition)))
+        for conjunct in all_conjuncts:
+            bindings = referenced_bindings(conjunct, unqualified)
+            if bindings & nullable:
+                final_filters.append(conjunct)
+                continue
+            if len(bindings) == 1:
+                owner = next(iter(bindings))
+                if owner in per_get:
+                    per_get[owner].append(conjunct)
+                    continue
+            deferred.append((bindings, conjunct))
+
+        first = gets[0]
+        current = self._access_path(first.table, first.binding,
+                                    per_get[first.binding.lower()],
+                                    first.columns)
+        bound = {first.binding.lower()}
+        for get, condition, kind in join_steps:
+            binding = get.binding.lower()
+            if kind == "LEFT":
+                # outer joins cannot push the ON condition below the join
+                right = self._access_path(get.table, get.binding, [],
+                                          get.columns)
+                current = self._build_join(current, right, condition, kind,
+                                           get)
+            else:
+                right = self._access_path(get.table, get.binding,
+                                          per_get[binding], get.columns)
+                ready = [c for bindings, c in deferred
+                         if bindings <= bound | {binding} and
+                         binding in bindings]
+                deferred = [(b, c) for b, c in deferred if c not in ready]
+                current = self._build_join(current, right, conjoin(ready),
+                                           kind, get)
+            bound.add(binding)
+        remaining = [c for __, c in deferred] + final_filters
+        return self._wrap_filter(current, remaining)
+
+    def _unqualified_binding_map(self,
+                                 gets: list[LogicalGet]) -> dict[str, str]:
+        mapping: dict[str, str] = {}
+        ambiguous: set[str] = set()
+        for get in gets:
+            for col in get.columns:
+                key = col.name.lower()
+                if key in mapping:
+                    ambiguous.add(key)
+                else:
+                    mapping[key] = get.binding.lower()
+        for key in ambiguous:
+            mapping.pop(key, None)
+        return mapping
+
+    def _build_join(self, left: phys.PhysicalNode, right: phys.PhysicalNode,
+                    condition: ast.Expr | None, kind: str,
+                    get: LogicalGet) -> phys.PhysicalNode:
+        columns = left.columns + right.columns
+        combined_scope = Scope(columns)
+        left_bindings = {c.binding.lower() for c in left.columns if c.binding}
+        right_binding = get.binding.lower()
+
+        equi: list[tuple[ast.Expr, ast.Expr]] = []
+        residual: list[ast.Expr] = []
+        for conjunct in split_conjuncts(condition):
+            pair = self._equi_pair(conjunct, left_bindings, right_binding,
+                                   left, right)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct)
+
+        if equi and kind in ("INNER", "LEFT"):
+            left_scope = Scope(left.columns)
+            right_scope = Scope(right.columns)
+            left_keys = tuple(compile_expr(l, left_scope) for l, __ in equi)
+            right_keys = tuple(compile_expr(r, right_scope) for __, r in equi)
+            residual_pred = conjoin(residual)
+            residual_fn = (compile_expr(residual_pred, combined_scope)
+                           if residual_pred is not None else None)
+            plan = phys.PhysHashJoin(left, right, left_keys, right_keys,
+                                     residual_fn, kind, columns=columns)
+            out_rows = max(1.0, min(
+                left.estimated_rows,
+                left.estimated_rows * right.estimated_rows /
+                max(right.estimated_rows, 1.0),
+            ))
+            plan.estimated_rows = out_rows
+            plan.estimated_cost = (
+                left.estimated_cost + right.estimated_cost
+                + right.estimated_rows * self._costs.hash_build_per_row
+                + left.estimated_rows * self._costs.hash_probe_per_row
+            )
+            return plan
+
+        condition_fn = (compile_expr(condition, combined_scope)
+                        if condition is not None else None)
+        plan = phys.PhysNLJoin(left, right, condition_fn, kind,
+                               columns=columns)
+        plan.estimated_rows = max(
+            1.0, left.estimated_rows * right.estimated_rows * 0.1
+        )
+        plan.estimated_cost = (
+            left.estimated_cost
+            + left.estimated_rows * max(right.estimated_cost, 1e-9)
+        )
+        return plan
+
+    def _equi_pair(self, conjunct: ast.Expr, left_bindings: set[str],
+                   right_binding: str, left: phys.PhysicalNode,
+                   right: phys.PhysicalNode
+                   ) -> tuple[ast.Expr, ast.Expr] | None:
+        """Recognize ``left_col = right_col`` across the join boundary."""
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        sides = [conjunct.left, conjunct.right]
+        if not all(isinstance(s, ast.ColumnRef) for s in sides):
+            return None
+        owners = []
+        for side in sides:
+            owner = self._binding_of(side, left, right)
+            if owner is None:
+                return None
+            owners.append(owner)
+        if owners[0] in left_bindings and owners[1] == right_binding:
+            return (sides[0], sides[1])
+        if owners[1] in left_bindings and owners[0] == right_binding:
+            return (sides[1], sides[0])
+        return None
+
+    def _binding_of(self, ref: ast.ColumnRef, left: phys.PhysicalNode,
+                    right: phys.PhysicalNode) -> str | None:
+        if ref.table:
+            return ref.table.lower()
+        name = ref.name.lower()
+        found = None
+        for col in left.columns + right.columns:
+            if col.name.lower() == name:
+                if found is not None:
+                    return None  # ambiguous
+                found = (col.binding or "").lower()
+        return found
+
+    # -- access paths ------------------------------------------------------------
+
+    def _access_path(self, table: str, binding: str,
+                     conjuncts: list[ast.Expr],
+                     columns: tuple[OutputCol, ...],
+                     with_rowids: bool = False) -> phys.PhysicalNode:
+        schema = self._catalog.table(table)
+        row_count = max(1, self._stats(table))
+        scope = Scope(columns)
+
+        sargs: list[_Sarg] = []
+        residual: list[ast.Expr] = []
+        for conjunct in conjuncts:
+            sarg = _extract_sarg(conjunct, binding, scope)
+            if sarg is not None:
+                sargs.append(sarg)
+            else:
+                residual.append(conjunct)
+
+        best: tuple[float, IndexDef, list[_Sarg], list[_Sarg]] | None = None
+        eq_by_col: dict[str, _Sarg] = {}
+        range_by_col: dict[str, list[_Sarg]] = {}
+        for sarg in sargs:
+            if sarg.op == "=":
+                eq_by_col.setdefault(sarg.column, sarg)
+            else:
+                range_by_col.setdefault(sarg.column, []).append(sarg)
+
+        for index in schema.indexes.values():
+            eq_prefix: list[_Sarg] = []
+            for col in index.columns:
+                sarg = eq_by_col.get(col.lower())
+                if sarg is None:
+                    break
+                eq_prefix.append(sarg)
+            range_sargs: list[_Sarg] = []
+            if len(eq_prefix) < len(index.columns):
+                next_col = index.columns[len(eq_prefix)].lower()
+                range_sargs = range_by_col.get(next_col, [])
+            if not eq_prefix and not range_sargs:
+                continue
+            if index.unique and len(eq_prefix) == len(index.columns):
+                est = 1.0
+            else:
+                est = float(row_count)
+                for __ in eq_prefix:
+                    est *= 0.05
+                if range_sargs:
+                    # a range bounded on both sides is assumed narrow
+                    # (BETWEEN-style point ranges); one-sided ranges wide
+                    ops = {s.op[0] for s in range_sargs}
+                    est *= 0.05 if {"<", ">"} <= ops else 0.30
+                est = max(1.0, est)
+            if best is None or est < best[0]:
+                best = (est, index, eq_prefix, range_sargs)
+
+        # point lookups (few estimated rows) always prefer the index; larger
+        # fractions of the table fall back to a scan (with lock escalation)
+        if best is not None and (best[0] <= 0.25 * row_count or best[0] <= 2):
+            est, index, eq_prefix, range_sargs = best
+            used = {s.source for s in eq_prefix} | \
+                   {s.source for s in range_sargs}
+            leftover = residual + [s.source for s in sargs
+                                   if s.source not in used]
+            low_fn = high_fn = None
+            low_inc = high_inc = True
+            for sarg in range_sargs:
+                if sarg.op in (">", ">="):
+                    low_fn = sarg.value_fn
+                    low_inc = sarg.op == ">="
+                elif sarg.op in ("<", "<="):
+                    high_fn = sarg.value_fn
+                    high_inc = sarg.op == "<="
+            filter_pred = conjoin(leftover)
+            plan = phys.PhysIndexSeek(
+                table=table,
+                binding=binding,
+                index=index.name,
+                eq_fns=tuple(s.value_fn for s in eq_prefix),
+                range_low_fn=low_fn,
+                range_high_fn=high_fn,
+                range_low_inclusive=low_inc,
+                range_high_inclusive=high_inc,
+                filter_expr=filter_pred,
+                filter_fn=(compile_expr(filter_pred, scope)
+                           if filter_pred is not None else None),
+                with_rowids=with_rowids,
+                columns=columns,
+            )
+            selectivity = 1.0
+            for conjunct in leftover:
+                selectivity *= self._selectivity(conjunct)
+            plan.estimated_rows = max(1.0, est * selectivity)
+            plan.estimated_cost = self._costs.index_seek + est * (
+                self._costs.index_scan_per_row + self._costs.row_fetch_cached
+            )
+            return plan
+
+        filter_pred = conjoin(conjuncts)
+        plan = phys.PhysTableScan(
+            table=table,
+            binding=binding,
+            filter_expr=filter_pred,
+            filter_fn=(compile_expr(filter_pred, scope)
+                       if filter_pred is not None else None),
+            with_rowids=with_rowids,
+            columns=columns,
+        )
+        selectivity = 1.0
+        for conjunct in conjuncts:
+            selectivity *= self._selectivity(conjunct)
+        plan.estimated_rows = max(1.0, row_count * selectivity)
+        plan.estimated_cost = row_count * (
+            self._costs.table_scan_per_row + self._costs.predicate_eval *
+            (1 if filter_pred is not None else 0)
+        )
+        return plan
+
+    def _selectivity(self, conjunct: ast.Expr) -> float:
+        if isinstance(conjunct, ast.BinaryOp):
+            if conjunct.op == "=":
+                return 0.05
+            if conjunct.op in ("<", ">", "<=", ">="):
+                return 0.30
+            if conjunct.op == "!=":
+                return 0.90
+            if conjunct.op == "OR":
+                return min(1.0, self._selectivity(conjunct.left)
+                           + self._selectivity(conjunct.right))
+        if isinstance(conjunct, ast.Between):
+            return 0.25
+        if isinstance(conjunct, ast.InList):
+            return min(1.0, 0.05 * len(conjunct.items))
+        if isinstance(conjunct, ast.Like):
+            return 0.25
+        if isinstance(conjunct, ast.IsNull):
+            return 0.10
+        return 0.33
+
+    # -- DML -------------------------------------------------------------------
+
+    def _plan_insert(self, node: LogicalInsert) -> phys.PhysicalNode:
+        schema = self._catalog.table(node.table)
+        row_fns = tuple(
+            tuple(compile_expr(expr, _EMPTY_SCOPE) for expr in row)
+            for row in node.rows
+        )
+        plan = phys.PhysInsert(node.table, node.target_columns, row_fns)
+        plan.estimated_rows = float(len(node.rows))
+        plan.estimated_cost = len(node.rows) * self._costs.row_insert
+        __ = schema  # validated during binding
+        return plan
+
+    def _plan_update(self, node: LogicalUpdate) -> phys.PhysicalNode:
+        schema = self._catalog.table(node.table)
+        conjuncts = _expand_between(split_conjuncts(node.predicate))
+        child = self._access_path(node.table, node.binding, conjuncts,
+                                  node.source_columns, with_rowids=True)
+        child.lock_mode = "X"  # type: ignore[attr-defined]
+        scope = Scope(node.source_columns)
+        ordinals = tuple(schema.column_index(col)
+                         for col, __ in node.assignments)
+        fns = tuple(compile_expr(expr, scope)
+                    for __, expr in node.assignments)
+        plan = phys.PhysUpdate(child, node.table, ordinals, fns)
+        plan.estimated_rows = child.estimated_rows
+        plan.estimated_cost = child.estimated_cost + \
+            child.estimated_rows * self._costs.row_update
+        return plan
+
+    def _plan_delete(self, node: LogicalDelete) -> phys.PhysicalNode:
+        conjuncts = _expand_between(split_conjuncts(node.predicate))
+        child = self._access_path(node.table, node.binding, conjuncts,
+                                  node.source_columns, with_rowids=True)
+        child.lock_mode = "X"  # type: ignore[attr-defined]
+        plan = phys.PhysDelete(child, node.table)
+        plan.estimated_rows = child.estimated_rows
+        plan.estimated_cost = child.estimated_cost + \
+            child.estimated_rows * self._costs.row_delete
+        return plan
+
+    def _plan_aggregate(self, node: LogicalAggregate) -> phys.PhysicalNode:
+        child = self._plan(node.child)
+        scope = Scope(child.columns)
+        group_fns = tuple(compile_expr(expr, scope)
+                          for expr in node.group_exprs)
+        aggs: list[phys.AggSpec] = []
+        for call in node.agg_calls:
+            name = call.name.upper()
+            if name == "COUNT" and call.star:
+                aggs.append(phys.AggSpec("COUNT_STAR"))
+            else:
+                if not call.args:
+                    raise PlanError(f"{name} requires an argument")
+                aggs.append(phys.AggSpec(
+                    name, compile_expr(call.args[0], scope), call.distinct
+                ))
+        scalar = not node.group_exprs
+        plan = phys.PhysAggregate(child, group_fns, tuple(aggs), scalar,
+                                  columns=node.columns)
+        if scalar:
+            plan.estimated_rows = 1.0
+        else:
+            plan.estimated_rows = max(1.0, child.estimated_rows * 0.1)
+        plan.estimated_cost = child.estimated_cost + \
+            child.estimated_rows * self._costs.agg_per_row
+        return plan

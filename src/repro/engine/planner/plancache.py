@@ -1,0 +1,69 @@
+"""Plan cache: compiled plans keyed by exact statement text.
+
+The paper notes (Section 4.2) that the logical query signature "is computed
+during query optimization and stored as part of the query plan; thus, if a
+query plan is cached, so is its signature".  The cache entry therefore has
+slots for both signatures, which SQLCM fills on first compilation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry."""
+
+    text: str
+    statement: Any  # parsed AST
+    logical: Any  # logical plan (input to the logical signature)
+    physical: Any  # physical plan (input to the physical signature)
+    query_type: str
+    node_count: int
+    # signatures cached with the plan (filled lazily by SQLCM)
+    logical_signature: bytes | None = None
+    physical_signature: bytes | None = None
+    hits: int = 0
+
+
+class PlanCache:
+    """LRU cache of compiled plans."""
+
+    def __init__(self, max_entries: int = 2048):
+        if max_entries < 1:
+            raise ValueError("plan cache needs at least one entry")
+        self._max = max_entries
+        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, text: str) -> CachedPlan | None:
+        entry = self._entries.get(text)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(text)
+        entry.hits += 1
+        self.hits += 1
+        return entry
+
+    def put(self, entry: CachedPlan) -> None:
+        self._entries[entry.text] = entry
+        self._entries.move_to_end(entry.text)
+        while len(self._entries) > self._max:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, text: str | None = None) -> None:
+        """Drop one entry, or the whole cache (DDL invalidation)."""
+        if text is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(text, None)

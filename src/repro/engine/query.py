@@ -1,0 +1,80 @@
+"""Per-statement execution context: the engine-side record SQLCM probes read.
+
+A :class:`QueryContext` is created when a statement starts and lives through
+compilation, execution, and completion.  Its fields are exactly the probe
+values of the paper's ``Query`` monitored class (Appendix A): text,
+signatures, start time, duration, estimated cost, blocking counters, and
+query type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class QueryState(enum.Enum):
+    COMPILING = "compiling"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    COMMITTED = "committed"
+    CANCELLED = "cancelled"
+    ROLLED_BACK = "rolled_back"
+    FAILED = "failed"
+
+
+@dataclass
+class QueryContext:
+    """Engine-side record of one executing statement."""
+
+    query_id: int
+    session_id: int
+    text: str
+    params: dict[str, Any] = field(default_factory=dict)
+    application: str = ""
+    user: str = ""
+    query_type: str = "SELECT"  # SELECT | INSERT | UPDATE | DELETE | OTHER
+    state: QueryState = QueryState.COMPILING
+    start_time: float = 0.0
+    compile_time: float = 0.0  # virtual seconds spent optimizing
+    end_time: float | None = None
+    estimated_cost: float = 0.0
+    plan: Any = None
+    logical_plan: Any = None
+    logical_signature: bytes | None = None
+    physical_signature: bytes | None = None
+    txn_id: int | None = None
+    procedure: str | None = None  # set when run inside EXEC
+
+    # blocking counters (probes Time_Blocked / Times_Blocked / Queries_Blocked)
+    time_blocked: float = 0.0
+    times_blocked: int = 0
+    queries_blocked: int = 0
+    time_blocking_others: float = 0.0
+    blocked_on: Any = None  # resource currently waited on, if any
+
+    # execution results
+    rows_affected: int = 0
+    result_rows: list = field(default_factory=list)
+    cancel_requested: bool = False
+    error: str | None = None
+
+    def duration_at(self, now: float) -> float:
+        """Elapsed virtual time (completed queries use their end time)."""
+        end = self.end_time if self.end_time is not None else now
+        return max(0.0, end - self.start_time)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (QueryState.COMMITTED, QueryState.CANCELLED,
+                              QueryState.ROLLED_BACK, QueryState.FAILED)
+
+    @property
+    def active(self) -> bool:
+        return self.state in (QueryState.COMPILING, QueryState.RUNNING,
+                              QueryState.BLOCKED)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"QueryContext(id={self.query_id}, "
+                f"state={self.state.value}, text={self.text[:40]!r})")

@@ -1,0 +1,320 @@
+"""Sessions: connections that execute statement scripts as scheduler processes.
+
+A session's script runs as one cooperative process.  Each statement goes
+through the full pipeline — begin (Query.Start), compile (Query.Compile),
+execute with lock waits, commit/rollback — with all costs expressed as
+scheduler :class:`Delay` items and all lock waits as :class:`WaitLock`
+suspensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.engine.exec.context import ExecContext
+from repro.engine.exec.operators import execute_plan
+from repro.engine.catalog import IfStep
+from repro.engine.query import QueryContext, QueryState
+from repro.engine.sqlparse import ast_nodes as ast
+from repro.errors import (DeadlockError, EngineError, QueryCancelledError,
+                          TransactionError)
+from repro.sim.scheduler import Delay, WaitLock
+
+
+@dataclass
+class StatementResult:
+    """Outcome of one statement in a script."""
+
+    text: str
+    rows: list = field(default_factory=list)
+    rows_affected: int = 0
+    error: str | None = None
+    query: QueryContext | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class Statement:
+    """A scripted statement: SQL text plus optional parameters and delay."""
+
+    sql: str
+    params: dict[str, Any] = field(default_factory=dict)
+    think_time: float = 0.0  # virtual seconds to pause before this statement
+
+
+class Session:
+    """One client connection to the database server."""
+
+    def __init__(self, server, session_id: int, user: str = "dbo",
+                 application: str = "app", isolation=None):
+        from repro.engine.txn import IsolationLevel
+
+        self.server = server
+        self.session_id = session_id
+        self.user = user
+        self.application = application
+        self.isolation = isolation or IsolationLevel.READ_COMMITTED
+        self.current_txn = None
+        self.current_query: QueryContext | None = None
+        self.results: list[StatementResult] = []
+        self.process = None  # scheduler Process once spawned
+        self.closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Session(id={self.session_id}, user={self.user!r})"
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, sql: str, params: dict[str, Any] | None = None
+                ) -> StatementResult:
+        """Run one statement synchronously (drives the scheduler).
+
+        Convenience for tests and single-threaded applications; concurrent
+        workloads should use :meth:`submit_script` + ``server.run()``.
+        """
+        proc = self.server.scheduler.spawn(
+            f"session-{self.session_id}-stmt",
+            self._statement_process(sql, dict(params or {})),
+        )
+        self.process = proc
+        return self.server.scheduler.run_until_done(proc)
+
+    def submit_script(self, script: Iterable[Statement | str | tuple],
+                      *, at: float | None = None):
+        """Spawn this session's script as a scheduler process."""
+        statements = [self._as_statement(item) for item in script]
+        proc = self.server.scheduler.spawn(
+            f"session-{self.session_id}",
+            self._script_process(statements),
+            at=at,
+        )
+        self.process = proc
+        return proc
+
+    @staticmethod
+    def _as_statement(item: Statement | str | tuple) -> Statement:
+        if isinstance(item, Statement):
+            return item
+        if isinstance(item, str):
+            return Statement(item)
+        sql, params = item
+        return Statement(sql, dict(params or {}))
+
+    # -- processes ------------------------------------------------------------------
+
+    def _statement_process(self, sql: str, params: dict[str, Any]) -> Iterator:
+        result = yield from self._run_statement(sql, params)
+        return result
+
+    def _script_process(self, statements: list[Statement]) -> Iterator:
+        for statement in statements:
+            if statement.think_time > 0:
+                yield Delay(statement.think_time)
+            yield from self._run_statement(statement.sql, statement.params)
+        if self.current_txn is not None and self.current_txn.active:
+            # implicit commit of a dangling explicit transaction at logout
+            yield from self._commit_explicit()
+        return self.results
+
+    # -- statement pipeline ------------------------------------------------------------
+
+    def _run_statement(self, sql: str, params: dict[str, Any],
+                       procedure: str | None = None) -> Iterator:
+        """Parse-dispatch one statement; appends and returns a StatementResult."""
+        server = self.server
+        stripped = sql.lstrip()
+        head = stripped[:12].upper()
+        try:
+            if head.startswith("BEGIN"):
+                yield from self._begin_explicit()
+                result = StatementResult(sql)
+            elif head.startswith("COMMIT"):
+                yield from self._commit_explicit()
+                result = StatementResult(sql)
+            elif head.startswith("ROLLBACK"):
+                yield from self._rollback_explicit()
+                result = StatementResult(sql)
+            elif head.startswith("CREATE"):
+                server.execute_ddl(sql)
+                yield Delay(server.costs.statement_overhead)
+                result = StatementResult(sql)
+            elif head.startswith("EXEC"):
+                result = yield from self._run_procedure(sql, params)
+            else:
+                result = yield from self._run_query(sql, params, procedure)
+        except (DeadlockError, QueryCancelledError, TransactionError) as err:
+            # the statement failed but the session survives: deadlock victims
+            # and cancelled queries roll back, later script statements run in
+            # fresh autocommit transactions (SQL Server batch semantics)
+            result = StatementResult(sql, error=str(err))
+            self.results.append(result)
+            return result
+        self.results.append(result)
+        return result
+
+    def _run_procedure(self, sql: str, params: dict[str, Any]) -> Iterator:
+        """EXEC: expand the procedure body into individual statements."""
+        server = self.server
+        stmt = server.parse(sql)
+        assert isinstance(stmt, ast.ExecStmt)
+        proc = server.catalog.procedure(stmt.procedure)
+        call_params = dict(params)
+        for name, expr in stmt.arguments:
+            if isinstance(expr, ast.Literal):
+                call_params[name] = expr.value
+            elif isinstance(expr, ast.Parameter):
+                if expr.name not in params:
+                    raise EngineError(
+                        f"EXEC argument @{name} references missing "
+                        f"parameter @{expr.name}"
+                    )
+                call_params[name] = params[expr.name]
+            else:
+                raise EngineError(
+                    "EXEC arguments must be literals or parameters"
+                )
+        missing = [p for p in proc.params if p not in call_params]
+        if missing:
+            raise EngineError(
+                f"procedure {proc.name!r} missing parameters {missing}"
+            )
+        steps = list(proc.body)
+        outcome = StatementResult(sql)
+        for step in self._flatten_steps(steps, call_params):
+            result = yield from self._run_statement(step, call_params,
+                                                    procedure=proc.name)
+            if result.error is not None:
+                outcome.error = result.error
+                break
+            outcome.rows = result.rows
+            outcome.rows_affected += result.rows_affected
+            outcome.query = result.query or outcome.query
+        return outcome
+
+    def _flatten_steps(self, steps: list, params: dict[str, Any]) -> list[str]:
+        flattened: list[str] = []
+        for step in steps:
+            if isinstance(step, IfStep):
+                branch = step.then_branch if step.predicate(params) \
+                    else step.else_branch
+                flattened.extend(self._flatten_steps(branch, params))
+            else:
+                flattened.append(step)
+        return flattened
+
+    def _run_query(self, sql: str, params: dict[str, Any],
+                   procedure: str | None) -> Iterator:
+        """The main pipeline for SELECT/INSERT/UPDATE/DELETE."""
+        server = self.server
+        costs = server.costs
+        qctx = server.begin_query(self, sql, params, procedure)
+        self.current_query = qctx
+        yield Delay(server.take_monitor_cost())  # Query.Start rules
+        try:
+            compile_cost = server.compile_query(qctx)
+        except EngineError as err:
+            server.finish_query(qctx, QueryState.FAILED, str(err))
+            yield Delay(server.take_monitor_cost())
+            self.current_query = None
+            raise
+        yield Delay(compile_cost + server.take_monitor_cost())
+
+        txn, autocommit = self._ensure_txn()
+        qctx.txn_id = txn.txn_id
+        server.register_statement(txn, qctx)
+        ctx = ExecContext(server, txn, qctx, params)
+        rows: list[tuple] = []
+        is_select = qctx.query_type == "SELECT"
+        try:
+            ctx.charge(costs.statement_overhead)
+            qctx.state = QueryState.RUNNING
+            for item in execute_plan(qctx.plan, ctx):
+                if isinstance(item, WaitLock):
+                    yield Delay(ctx.take_cost() + server.take_monitor_cost())
+                    qctx.state = QueryState.BLOCKED
+                    yield item
+                    qctx.state = QueryState.RUNNING
+                else:
+                    if is_select:
+                        rows.append(item)
+                        ctx.charge(costs.network_per_row)
+            ctx.charge(server.txns.release_statement_read_locks(txn))
+            if autocommit:
+                ctx.charge(server.txns.commit(txn))
+                self.current_txn = None
+            yield Delay(ctx.take_cost() + server.take_monitor_cost())
+        except (DeadlockError, QueryCancelledError) as err:
+            state = (QueryState.CANCELLED
+                     if isinstance(err, QueryCancelledError)
+                     else QueryState.ROLLED_BACK)
+            yield from self._abort_transaction(txn, ctx, qctx, state, str(err))
+            raise
+        except EngineError as err:
+            yield from self._abort_transaction(txn, ctx, qctx,
+                                               QueryState.FAILED, str(err))
+            raise
+
+        qctx.result_rows = rows
+        server.finish_query(qctx, QueryState.COMMITTED)
+        if autocommit:
+            server.publish_txn_event("txn.commit", txn, self)
+        yield Delay(server.take_monitor_cost())  # Query.Commit rules
+        self.current_query = None
+        return StatementResult(sql, rows=rows,
+                               rows_affected=qctx.rows_affected, query=qctx)
+
+    def _abort_transaction(self, txn, ctx, qctx, state: QueryState,
+                           message: str) -> Iterator:
+        """Roll back after a deadlock/cancel/failure; always rolls back the
+        whole transaction (matching SQL Server's deadlock-victim handling)."""
+        server = self.server
+        rollback_cost = server.txns.rollback(txn, server.tables_by_name())
+        self.current_txn = None
+        server.finish_query(qctx, state, message)
+        server.publish_txn_event("txn.rollback", txn, self)
+        self.current_query = None
+        yield Delay(ctx.take_cost() + rollback_cost
+                    + server.take_monitor_cost())
+
+    # -- transaction scripting ------------------------------------------------------------
+
+    def _ensure_txn(self):
+        """Current explicit transaction, or a fresh autocommit one."""
+        if self.current_txn is not None and self.current_txn.active:
+            return self.current_txn, False
+        txn = self.server.txns.begin(self.session_id,
+                                     isolation=self.isolation)
+        self.current_txn = txn
+        return txn, True
+
+    def _begin_explicit(self) -> Iterator:
+        if self.current_txn is not None and self.current_txn.active:
+            raise TransactionError("nested BEGIN TRANSACTION not supported")
+        txn = self.server.txns.begin(self.session_id, explicit=True,
+                                     isolation=self.isolation)
+        self.current_txn = txn
+        self.server.events.publish("txn.begin", {"txn": txn, "session": self})
+        yield Delay(self.server.costs.txn_begin
+                    + self.server.take_monitor_cost())
+
+    def _commit_explicit(self) -> Iterator:
+        txn = self.current_txn
+        if txn is None or not txn.active:
+            raise TransactionError("COMMIT without an active transaction")
+        cost = self.server.txns.commit(txn)
+        self.current_txn = None
+        self.server.publish_txn_event("txn.commit", txn, self)
+        yield Delay(cost + self.server.take_monitor_cost())
+
+    def _rollback_explicit(self) -> Iterator:
+        txn = self.current_txn
+        if txn is None or not txn.active:
+            raise TransactionError("ROLLBACK without an active transaction")
+        cost = self.server.txns.rollback(txn, self.server.tables_by_name())
+        self.current_txn = None
+        self.server.publish_txn_event("txn.rollback", txn, self)
+        yield Delay(cost + self.server.take_monitor_cost())

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, AST node definitions, recursive-descent parser."""
+
+from repro.engine.sqlparse.lexer import Token, tokenize
+from repro.engine.sqlparse.parser import parse_statement
+
+__all__ = ["tokenize", "Token", "parse_statement"]

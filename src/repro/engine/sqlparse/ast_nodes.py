@@ -1,0 +1,279 @@
+"""AST node definitions for the SQL dialect.
+
+Expression nodes share a small visitor-free protocol: the planner walks them
+structurally and the signature module linearizes them (Section 4.2 of the
+paper computes signatures from the logical query tree — these nodes are that
+tree's leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    table: str | None = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A named parameter placeholder (``@name``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary minus or NOT."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic, comparison, or boolean binary operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern`` with % and _ wildcards."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Aggregate or scalar function call; ``star`` marks COUNT(*)."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    star: bool = False
+    distinct: bool = False
+
+
+AGGREGATE_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX", "STDEV"}
+
+
+def is_aggregate(expr: Expr) -> bool:
+    """True if the expression contains an aggregate function call."""
+    if isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_FUNCS:
+        return True
+    for child in children_of(expr):
+        if is_aggregate(child):
+            return True
+    return False
+
+
+def children_of(expr: Expr) -> tuple[Expr, ...]:
+    """Direct sub-expressions of a node (structural walk helper)."""
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, IsNull):
+        return (expr.operand,)
+    if isinstance(expr, InList):
+        return (expr.operand, *expr.items)
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, Like):
+        return (expr.operand, expr.pattern)
+    if isinstance(expr, FuncCall):
+        return expr.args
+    return ()
+
+
+def walk(expr: Expr):
+    """Depth-first pre-order traversal of an expression tree."""
+    yield expr
+    for child in children_of(expr):
+        yield from walk(child)
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list: expression plus optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """An inner or left join against a base table."""
+
+    table: TableRef
+    condition: Expr
+    kind: str = "INNER"  # INNER | LEFT
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """SELECT ... FROM ... [JOIN ...] [WHERE] [GROUP BY] [HAVING] [ORDER BY] [LIMIT]."""
+
+    items: tuple[SelectItem, ...]
+    table: TableRef | None
+    joins: tuple[Join, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """INSERT INTO table [(cols)] VALUES (...), (...)."""
+
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    """UPDATE table SET col = expr, ... [WHERE expr]."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """DELETE FROM table [WHERE expr]."""
+
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    """CREATE TABLE with column defs and optional primary key."""
+
+    table: str
+    columns: tuple[tuple[str, str, bool], ...]  # (name, type word, nullable)
+    primary_key: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt:
+    """CREATE [UNIQUE] INDEX name ON table (cols)."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class BeginStmt:
+    """BEGIN [TRANSACTION]."""
+
+
+@dataclass(frozen=True)
+class CommitStmt:
+    """COMMIT."""
+
+
+@dataclass(frozen=True)
+class RollbackStmt:
+    """ROLLBACK."""
+
+
+@dataclass(frozen=True)
+class ExecStmt:
+    """EXEC procname @p1 = expr, ... — stored-procedure invocation."""
+
+    procedure: str
+    arguments: tuple[tuple[str, Expr], ...] = ()
+
+
+Statement = (
+    SelectStmt | InsertStmt | UpdateStmt | DeleteStmt | CreateTableStmt
+    | CreateIndexStmt | BeginStmt | CommitStmt | RollbackStmt | ExecStmt
+)

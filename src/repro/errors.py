@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the engine or by SQLCM derives from :class:`ReproError`
+so applications can catch the whole family with one handler while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the database engine substrate."""
+
+
+class SQLSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(EngineError):
+    """Name resolution failed (unknown table, column, or parameter)."""
+
+
+class PlanError(EngineError):
+    """The optimizer could not produce a physical plan."""
+
+
+class ExecutionError(EngineError):
+    """A runtime failure during query execution."""
+
+
+class TypeMismatchError(ExecutionError):
+    """An operation was applied to values of incompatible SQL types."""
+
+
+class ConstraintError(ExecutionError):
+    """A uniqueness or not-null constraint was violated."""
+
+
+class CatalogError(EngineError):
+    """Invalid catalog operation (duplicate table, unknown index, ...)."""
+
+
+class TransactionError(EngineError):
+    """Illegal transaction state transition (commit without begin, ...)."""
+
+
+class DeadlockError(TransactionError):
+    """The transaction was chosen as a deadlock victim and rolled back."""
+
+
+class QueryCancelledError(ExecutionError):
+    """The query was cancelled (by a DBA or by an SQLCM ``Cancel`` action)."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock request exceeded the configured wait timeout."""
+
+
+class SQLCMError(ReproError):
+    """Base class for errors raised by the SQLCM monitoring framework."""
+
+
+class SchemaError(SQLCMError):
+    """A rule, LAT, or probe referenced an unknown class or attribute."""
+
+
+class RuleError(SQLCMError):
+    """A rule definition is malformed."""
+
+
+class ConditionSyntaxError(RuleError):
+    """The condition expression could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class ActionError(SQLCMError):
+    """An action is malformed or was applied to an unsupported object."""
+
+
+class LATError(SQLCMError):
+    """Invalid LAT definition or operation."""

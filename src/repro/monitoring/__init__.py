@@ -1,0 +1,23 @@
+"""Baseline monitoring mechanisms the paper compares SQLCM against.
+
+* :class:`QueryLoggingMonitor` — "Query_logging": every committed query is
+  synchronously written to a reporting table; answers come from SQL
+  post-processing (push, no filtering).
+* :class:`PullMonitor` — "PULL": a client polls snapshots of currently
+  active queries; lossy, accuracy depends on the polling rate.
+* :class:`PullHistoryMonitor` — "PULL_history": the server keeps a history
+  of completed queries that the poller drains; exact but costly, and the
+  history's memory steals buffer-pool pages at low polling rates.
+"""
+
+from repro.monitoring.accuracy import missed_top_k, top_k_ground_truth
+from repro.monitoring.logging_monitor import QueryLoggingMonitor
+from repro.monitoring.polling import PullHistoryMonitor, PullMonitor
+
+__all__ = [
+    "QueryLoggingMonitor",
+    "PullMonitor",
+    "PullHistoryMonitor",
+    "top_k_ground_truth",
+    "missed_top_k",
+]

@@ -1,0 +1,44 @@
+"""Ground-truth accuracy comparison for monitoring answers (Figure 3).
+
+The paper reports how many of the true top-10 most expensive queries each
+approach missed.  Ground truth comes from the engine's completed-query
+track (enable ``ServerConfig.track_completed_queries``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def top_k_ground_truth(server, k: int,
+                       exclude_apps: Iterable[str] = ("query_logging",
+                                                      "monitor")
+                       ) -> list[tuple[int, str, float]]:
+    """True top-k completed queries by duration."""
+    excluded = set(exclude_apps)
+    completed = [
+        q for q in server.completed_queries
+        if q.application not in excluded
+    ]
+    ranked = sorted(
+        completed,
+        key=lambda q: q.duration_at(server.clock.now),
+        reverse=True,
+    )
+    return [
+        (q.query_id, q.text, q.duration_at(server.clock.now))
+        for q in ranked[:k]
+    ]
+
+
+def missed_top_k(truth: Sequence[tuple], answer: Sequence[tuple]) -> int:
+    """How many true top-k queries the monitor's answer failed to include.
+
+    Matching is by query id when available, falling back to query text
+    (PULL identifies queries it observed; LAT answers may only carry text).
+    """
+    answer_ids = {row[0] for row in answer if row and row[0] is not None}
+    if answer_ids:
+        return sum(1 for row in truth if row[0] not in answer_ids)
+    answer_texts = {row[1] for row in answer if len(row) > 1}
+    return sum(1 for row in truth if row[1] not in answer_texts)

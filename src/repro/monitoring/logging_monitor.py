@@ -1,0 +1,72 @@
+"""Query_logging baseline: synchronous event logging to a reporting table.
+
+This is the paper's "push without filtering inside the server" comparator
+(Section 6.2.2, approach (a)): every committed query writes its full record
+out synchronously, and the monitoring question — e.g. top-k most expensive —
+is answered afterwards with a SQL query over the reporting table.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import ColumnDef, TableSchema
+from repro.engine.types import SQLType
+
+
+class QueryLoggingMonitor:
+    """Logs every committed query to a table, synchronously."""
+
+    def __init__(self, server, table_name: str = "query_log"):
+        self.server = server
+        self.table_name = table_name
+        self.rows_written = 0
+        if not server.catalog.has_table(table_name):
+            server.create_table(TableSchema(table_name, [
+                ColumnDef("query_id", SQLType.INTEGER),
+                ColumnDef("query_text", SQLType.STRING),
+                ColumnDef("query_type", SQLType.STRING),
+                ColumnDef("start_time", SQLType.DATETIME),
+                ColumnDef("duration", SQLType.FLOAT),
+                ColumnDef("app", SQLType.STRING),
+                ColumnDef("login", SQLType.STRING),
+            ]))
+        self._attached = False
+        self.attach()
+
+    def attach(self) -> None:
+        if not self._attached:
+            self.server.events.subscribe("query.commit", self._on_commit)
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.server.events.unsubscribe("query.commit", self._on_commit)
+            self._attached = False
+
+    def _on_commit(self, event: str, payload: dict) -> None:
+        qctx = payload["query"]
+        if qctx.text.lower().startswith(("insert into " + self.table_name,)):
+            return  # never log our own writes
+        # monitoring and reporting are not integrated → synchronous write
+        self.server.add_monitor_cost(self.server.costs.log_write_row_sync)
+        table = self.server.table(self.table_name)
+        table.insert([
+            qctx.query_id,
+            qctx.text,
+            qctx.query_type,
+            qctx.start_time,
+            qctx.duration_at(self.server.clock.now),
+            qctx.application,
+            qctx.user,
+        ])
+        self.rows_written += 1
+
+    def top_k(self, k: int) -> list[tuple[int, str, float]]:
+        """Post-process the reporting table with SQL (as the paper does)."""
+        session = self.server.create_session(user="monitor",
+                                             application="query_logging")
+        result = session.execute(
+            f"SELECT query_id, query_text, duration FROM {self.table_name} "
+            f"ORDER BY duration DESC LIMIT {int(k)}"
+        )
+        self.server.close_session(session)
+        return [tuple(row) for row in result.rows]

@@ -1,0 +1,154 @@
+"""DBA-facing text reports over a live server + SQLCM instance.
+
+The paper's monitoring applications ultimately feed a DBA; this module
+renders the state they would look at — monitoring configuration, LAT
+contents, blocking health, template performance — as plain-text reports
+(used by the CLI's ``.report`` command and handy in notebooks/tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _table(headers: list[str], rows: Iterable[tuple]) -> list[str]:
+    """Render an aligned text table."""
+    materialized = [tuple(str(v) for v in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def monitoring_configuration(sqlcm) -> str:
+    """What is being monitored right now: rules, LATs, timers."""
+    lines = ["MONITORING CONFIGURATION", ""]
+    lines += _table(
+        ["rule", "event", "conditions", "evals", "fired", "state"],
+        [
+            (r.name, r.event, r.atomic_condition_count,
+             r.evaluation_count, r.fire_count,
+             "enabled" if r.enabled else "disabled")
+            for r in sqlcm.rules.values()
+        ],
+    )
+    lines.append("")
+    lines += _table(
+        ["LAT", "class", "rows", "inserts", "evictions", "bytes"],
+        [
+            (lat.definition.name, lat.definition.monitored_class,
+             len(lat), lat.insert_count, lat.eviction_count,
+             lat.memory_bytes())
+            for lat in sqlcm.lats()
+        ],
+    )
+    timers = sqlcm.timer_service.timers()
+    if timers:
+        lines.append("")
+        lines += _table(
+            ["timer", "interval", "remaining"],
+            [(t.name, f"{t.interval:g}s", t.remaining) for t in timers],
+        )
+    return "\n".join(lines)
+
+
+def lat_contents(sqlcm, lat_name: str, limit: int = 20) -> str:
+    """One LAT's rows in its declared ordering."""
+    lat = sqlcm.lat(lat_name)
+    rows = lat.rows()[:limit]
+    if not rows:
+        return f"LAT {lat.definition.name}: empty"
+    columns = lat.definition.column_names()
+    rendered = [
+        tuple(_short(row.get(c)) for c in columns) for row in rows
+    ]
+    lines = [f"LAT {lat.definition.name} ({len(lat)} rows)", ""]
+    lines += _table(columns, rendered)
+    return "\n".join(lines)
+
+
+def blocking_health(server, sqlcm=None) -> str:
+    """Current lock waits and the waits-for graph."""
+    lines = ["BLOCKING HEALTH", ""]
+    pairs = server.locks.blocking_pairs()
+    if not pairs:
+        lines.append("no queries are currently blocked")
+    else:
+        rows = []
+        now = server.clock.now
+        for ticket, holder_txn, resource in pairs:
+            blocked = ticket.qctx
+            blocker = server.current_query_of_txn(holder_txn)
+            rows.append((
+                blocked.query_id if blocked else "?",
+                f"{now - ticket.requested_at:.2f}s",
+                str(resource),
+                blocker.query_id if blocker else holder_txn,
+                (blocker.text[:40] if blocker else ""),
+            ))
+        lines += _table(
+            ["blocked qid", "waiting", "resource", "blocker", "statement"],
+            rows,
+        )
+    lines.append("")
+    lines.append(f"deadlocks detected so far: "
+                 f"{server.locks.deadlocks_detected}")
+    return "\n".join(lines)
+
+
+def server_activity(server, limit: int = 10) -> str:
+    """Active queries plus the most recent completions."""
+    now = server.clock.now
+    lines = ["SERVER ACTIVITY", "",
+             f"virtual time: {now:.3f}s",
+             f"active queries: {len(server.active_queries())}"]
+    if server.active_queries():
+        lines.append("")
+        lines += _table(
+            ["qid", "state", "elapsed", "user", "statement"],
+            [
+                (q.query_id, q.state.value,
+                 f"{q.duration_at(now) * 1e3:.1f}ms", q.user, q.text[:40])
+                for q in server.active_queries()
+            ],
+        )
+    recent = server.completed_queries[-limit:]
+    if recent:
+        lines.append("")
+        lines += _table(
+            ["qid", "outcome", "duration", "statement"],
+            [
+                (q.query_id, q.state.value,
+                 f"{q.duration_at(now) * 1e3:.1f}ms", q.text[:40])
+                for q in recent
+            ],
+        )
+    return "\n".join(lines)
+
+
+def full_report(server, sqlcm) -> str:
+    """Everything a DBA checks first."""
+    sections = [
+        server_activity(server),
+        blocking_health(server, sqlcm),
+        monitoring_configuration(sqlcm),
+    ]
+    return ("\n\n" + "=" * 60 + "\n\n").join(sections)
+
+
+def _short(value, width: int = 28) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bytes):
+        return value.hex()[:12]
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return text if len(text) <= width else text[:width - 1] + "…"

@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate: virtual clock, cost model, scheduler.
+
+The paper measures wall-clock overhead of monitoring inside Microsoft SQL
+Server.  This reproduction instead runs the engine on a *virtual clock*: every
+engine operation (index seek, row scan, page write, ...) and every monitoring
+operation (rule evaluation, LAT maintenance, signature computation, log
+writes, poll snapshots) charges a calibrated cost to the clock.  Overhead
+percentages then fall out of deterministic operation counts, which is exactly
+the quantity the paper's relative claims depend on.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.scheduler import Delay, Process, Scheduler, WaitLock
+
+__all__ = ["SimClock", "CostModel", "Scheduler", "Process", "Delay", "WaitLock"]

@@ -1,0 +1,40 @@
+"""Virtual clock used by the engine, the scheduler, and SQLCM."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing virtual clock measured in seconds.
+
+    The clock is advanced explicitly by the scheduler (or by tests).  All
+    durations in the system — query durations, blocking delays, timer
+    intervals, aging-window boundaries — are expressed in this clock's time,
+    which makes every experiment deterministic and independent of the host
+    machine.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t`` (no-op if in past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

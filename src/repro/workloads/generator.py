@@ -1,0 +1,136 @@
+"""Workload mixes reproducing the paper's evaluation queries (Section 6.2).
+
+The central mix: "20,000 short single-row selections from the lineitem and
+orders table interleaved with 100 selections of 1000-2000 rows from a join
+between lineitem, orders and parts", executed with identical constants in
+identical order on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.session import Statement
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Parameters of the paper's mixed workload, scaled."""
+
+    short_queries: int = 20_000
+    join_queries: int = 100
+    join_rows_low: int = 1_000
+    join_rows_high: int = 2_000
+    distinct_short_templates: int = 200
+    think_time: float = 0.0
+    seed: int = 7
+
+    def scaled(self, factor: float) -> "WorkloadMix":
+        return WorkloadMix(
+            short_queries=max(1, int(self.short_queries * factor)),
+            join_queries=max(1, int(self.join_queries * factor)),
+            join_rows_low=self.join_rows_low,
+            join_rows_high=self.join_rows_high,
+            distinct_short_templates=self.distinct_short_templates,
+            think_time=self.think_time,
+            seed=self.seed,
+        )
+
+
+def short_select_workload(n: int, *, orders_rows: int, lineitem_keys,
+                          distinct_templates: int = 200,
+                          seed: int = 7,
+                          think_time: float = 0.0) -> list[Statement]:
+    """``n`` single-row clustered-index selects on lineitem and orders.
+
+    Constants cycle through a fixed pool so the plan cache behaves as it
+    would for a repeating application (the paper re-executes identical
+    queries), while still touching many rows.
+    """
+    rng = np.random.default_rng(seed)
+    lineitem_keys = list(lineitem_keys)
+    pool: list[str] = []
+    for i in range(distinct_templates):
+        if i % 2 == 0 and lineitem_keys:
+            okey, lineno = lineitem_keys[
+                int(rng.integers(len(lineitem_keys)))]
+            pool.append(
+                "SELECT l_extendedprice, l_quantity FROM lineitem "
+                f"WHERE l_orderkey = {okey} AND l_linenumber = {lineno}"
+            )
+        else:
+            okey = int(rng.integers(1, orders_rows + 1))
+            pool.append(
+                "SELECT o_totalprice, o_orderstatus FROM orders "
+                f"WHERE o_orderkey = {okey}"
+            )
+    statements = []
+    for i in range(n):
+        statements.append(Statement(pool[i % len(pool)],
+                                    think_time=think_time))
+    return statements
+
+
+def join_query(order_low: int, order_high: int) -> str:
+    """A 3-table join selecting all lineitems of an order-key range."""
+    return (
+        "SELECT l.l_orderkey, l.l_extendedprice, o.o_totalprice, "
+        "p.p_retailprice "
+        "FROM lineitem l "
+        "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+        "JOIN part p ON l.l_partkey = p.p_partkey "
+        f"WHERE l.l_orderkey BETWEEN {order_low} AND {order_high}"
+    )
+
+
+def mixed_paper_workload(mix: WorkloadMix, *, orders_rows: int,
+                         lineitem_rows: int, lineitem_keys
+                         ) -> list[Statement]:
+    """The Section 6.2.2 mix: short selects interleaved with range joins.
+
+    Join ranges are sized so each join returns roughly ``join_rows_low`` to
+    ``join_rows_high`` lineitem rows (the paper's 1000-2000).
+    """
+    rng = np.random.default_rng(mix.seed)
+    statements = short_select_workload(
+        mix.short_queries,
+        orders_rows=orders_rows,
+        lineitem_keys=lineitem_keys,
+        distinct_templates=mix.distinct_short_templates,
+        seed=mix.seed,
+        think_time=mix.think_time,
+    )
+    if mix.join_queries <= 0:
+        return statements
+    lines_per_order = max(1.0, lineitem_rows / max(1, orders_rows))
+    interval = max(1, len(statements) // mix.join_queries)
+    position = interval - 1
+    for __ in range(mix.join_queries):
+        target_rows = int(rng.integers(mix.join_rows_low,
+                                       mix.join_rows_high + 1))
+        span = max(1, int(target_rows / lines_per_order))
+        low = int(rng.integers(1, max(2, orders_rows - span)))
+        stmt = Statement(join_query(low, low + span - 1),
+                         think_time=mix.think_time)
+        statements.insert(min(position, len(statements)), stmt)
+        position += interval + 1
+    return statements
+
+
+def lineitem_key_sample(server, sample_size: int = 500,
+                        seed: int = 11) -> list[tuple[int, int]]:
+    """A deterministic sample of (l_orderkey, l_linenumber) PK values."""
+    table = server.table("lineitem")
+    rowids = table.rowids()
+    if not rowids:
+        return []
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(rowids), size=min(sample_size, len(rowids)),
+                        replace=False)
+    keys = []
+    for index in sorted(int(i) for i in chosen):
+        row = table.get(rowids[index])
+        keys.append((row[0], row[1]))
+    return keys

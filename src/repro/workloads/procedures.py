@@ -1,0 +1,73 @@
+"""Stored procedures for the signature and outlier experiments.
+
+Section 4.2 motivates transaction signatures with a procedure of the form
+``IF Condition THEN A ELSE B``: different invocations take different code
+paths with different performance.  ``register_order_procedures`` installs:
+
+* ``get_order(@okey)`` — a simple parameterized point lookup (one template,
+  one logical signature for all invocations).
+* ``order_report(@okey, @detail)`` — the IF/ELSE procedure: ``@detail = 1``
+  runs the expensive lineitem join path, else a cheap summary path; the two
+  paths produce distinct transaction signatures.
+* ``customer_orders(@ckey)`` — secondary-index lookup, used by auditing
+  examples.
+* ``slow_scan(@minprice)`` — a deliberately expensive scan; invoking it
+  with a low price bound produces the outlier invocations Example 1 hunts.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import IfStep, ProcedureDef
+
+
+def register_order_procedures(server) -> list[str]:
+    """Install the demo procedures; returns their names."""
+    procs = [
+        ProcedureDef(
+            name="get_order",
+            params=("okey",),
+            body=[
+                "SELECT o_totalprice, o_orderstatus FROM orders "
+                "WHERE o_orderkey = @okey",
+            ],
+        ),
+        ProcedureDef(
+            name="order_report",
+            params=("okey", "detail"),
+            body=[
+                "SELECT o_totalprice FROM orders WHERE o_orderkey = @okey",
+                IfStep(
+                    predicate=lambda params: params.get("detail", 0) == 1,
+                    then_branch=[
+                        "SELECT l.l_linenumber, l.l_extendedprice, "
+                        "p.p_retailprice FROM lineitem l "
+                        "JOIN part p ON l.l_partkey = p.p_partkey "
+                        "WHERE l.l_orderkey = @okey",
+                    ],
+                    else_branch=[
+                        "SELECT COUNT(*), SUM(l_extendedprice) "
+                        "FROM lineitem WHERE l_orderkey = @okey",
+                    ],
+                ),
+            ],
+        ),
+        ProcedureDef(
+            name="customer_orders",
+            params=("ckey",),
+            body=[
+                "SELECT o_orderkey, o_totalprice FROM orders "
+                "WHERE o_custkey = @ckey",
+            ],
+        ),
+        ProcedureDef(
+            name="slow_scan",
+            params=("minprice",),
+            body=[
+                "SELECT COUNT(*), AVG(l_extendedprice) FROM lineitem "
+                "WHERE l_extendedprice > @minprice",
+            ],
+        ),
+    ]
+    for proc in procs:
+        server.create_procedure(proc)
+    return [p.name for p in procs]

@@ -1,0 +1,121 @@
+"""Workload traces: record what ran, replay it later.
+
+A DBA workflow the paper's monitoring enables: capture the statements a
+production server executed (with their virtual timing), persist the trace,
+and replay it — against a changed configuration, with different monitoring,
+or after an engine fix — to compare behaviour on identical input.
+
+The recorder subscribes to ``query.commit``/``query.rollback``/
+``query.cancel``; the replayer regenerates a session script whose think
+times reproduce the original statement start times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.engine.session import Statement
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded statement."""
+
+    start_time: float
+    text: str
+    params: dict = field(default_factory=dict)
+    user: str = ""
+    application: str = ""
+    duration: float = 0.0
+    outcome: str = "committed"  # committed | rolled_back | cancelled
+
+
+class TraceRecorder:
+    """Records completed statements from a live server."""
+
+    _EVENTS = ("query.commit", "query.rollback", "query.cancel")
+
+    def __init__(self, server, *, applications: set[str] | None = None):
+        self.server = server
+        self.applications = applications
+        self.entries: list[TraceEntry] = []
+        self._attached = False
+        self.attach()
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        for event in self._EVENTS:
+            self.server.events.subscribe(event, self._on_query_end)
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        for event in self._EVENTS:
+            self.server.events.unsubscribe(event, self._on_query_end)
+        self._attached = False
+
+    def _on_query_end(self, event: str, payload: dict) -> None:
+        qctx = payload["query"]
+        if qctx is None:
+            return
+        if self.applications is not None and \
+                qctx.application not in self.applications:
+            return
+        outcome = {
+            "query.commit": "committed",
+            "query.rollback": "rolled_back",
+            "query.cancel": "cancelled",
+        }[event]
+        self.entries.append(TraceEntry(
+            start_time=qctx.start_time,
+            text=qctx.text,
+            params=dict(qctx.params),
+            user=qctx.user,
+            application=qctx.application,
+            duration=qctx.duration_at(self.server.clock.now),
+            outcome=outcome,
+        ))
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialize the trace to JSON (parameters must be JSON-able)."""
+        return json.dumps([asdict(e) for e in self.entries], indent=1)
+
+    @staticmethod
+    def load(text: str) -> list[TraceEntry]:
+        return [TraceEntry(**record) for record in json.loads(text)]
+
+
+def replay_script(entries: list[TraceEntry],
+                  *, time_scale: float = 1.0) -> list[Statement]:
+    """Build a session script reproducing the trace's statement starts.
+
+    ``time_scale`` compresses (<1) or stretches (>1) the original pacing.
+    Statements replay in original start order; each statement's think time
+    is the gap to the previous statement's start (the replayed durations
+    then emerge from the engine, which is the point of a replay).
+    """
+    ordered = sorted(entries, key=lambda e: e.start_time)
+    script: list[Statement] = []
+    previous_start = ordered[0].start_time if ordered else 0.0
+    for entry in ordered:
+        gap = max(0.0, (entry.start_time - previous_start) * time_scale)
+        script.append(Statement(entry.text, dict(entry.params),
+                                think_time=gap))
+        previous_start = entry.start_time
+    return script
+
+
+def replay(server, entries: list[TraceEntry], *, user: str = "replay",
+           application: str = "replay", time_scale: float = 1.0):
+    """Submit the replay script on a fresh session; returns the session.
+
+    Call ``server.run()`` (or ``scheduler.run_until_done``) afterwards.
+    """
+    session = server.create_session(user=user, application=application)
+    session.submit_script(replay_script(entries, time_scale=time_scale))
+    return session

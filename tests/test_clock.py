@@ -1,0 +1,44 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.5).now == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+        clock.advance(0.5)
+        assert clock.now == 3.0
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(1.0)
+        clock.advance(0.0)
+        assert clock.now == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_never_moves_backward(self):
+        clock = SimClock(10.0)
+        clock.advance_to(4.0)
+        assert clock.now == 10.0

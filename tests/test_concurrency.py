@@ -1,0 +1,227 @@
+"""Concurrency integration tests: blocking, deadlocks, cancellation."""
+
+import pytest
+
+from repro import DatabaseServer, ServerConfig, Statement
+
+
+@pytest.fixture
+def bank():
+    server = DatabaseServer(ServerConfig(track_completed_queries=True))
+    server.execute_ddl(
+        "CREATE TABLE acct (id INT NOT NULL PRIMARY KEY, bal FLOAT)"
+    )
+    loader = server.create_session()
+    loader.execute("INSERT INTO acct VALUES (1, 100.0), (2, 200.0), "
+                   "(3, 300.0)")
+    return server
+
+
+class TestBlocking:
+    def test_reader_waits_for_writer(self, bank):
+        writer = bank.create_session(user="w")
+        reader = bank.create_session(user="r")
+        writer.submit_script([
+            "BEGIN",
+            "UPDATE acct SET bal = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=1.0),
+        ])
+        reader.submit_script([
+            Statement("SELECT bal FROM acct WHERE id = 1", think_time=0.1),
+        ])
+        bank.run()
+        # reader saw the committed value, after waiting
+        assert reader.results[-1].rows == [(0.0,)]
+        qctx = reader.results[-1].query
+        assert qctx.times_blocked == 1
+        assert qctx.time_blocked > 0.5
+
+    def test_writer_waits_for_writer(self, bank):
+        w1 = bank.create_session()
+        w2 = bank.create_session()
+        w1.submit_script([
+            "BEGIN",
+            "UPDATE acct SET bal = bal + 1 WHERE id = 1",
+            Statement("COMMIT", think_time=0.5),
+        ])
+        w2.submit_script([
+            Statement("UPDATE acct SET bal = bal * 2 WHERE id = 1",
+                      think_time=0.1),
+        ])
+        bank.run()
+        check = bank.create_session()
+        # serialized: (100 + 1) * 2
+        assert check.execute(
+            "SELECT bal FROM acct WHERE id = 1").rows == [(202.0,)]
+
+    def test_readers_do_not_block_readers(self, bank):
+        r1 = bank.create_session()
+        r2 = bank.create_session()
+        r1.submit_script(["SELECT bal FROM acct WHERE id = 1"])
+        r2.submit_script(["SELECT bal FROM acct WHERE id = 1"])
+        bank.run()
+        assert r1.results[-1].query.times_blocked == 0
+        assert r2.results[-1].query.times_blocked == 0
+
+    def test_different_rows_do_not_conflict(self, bank):
+        w1 = bank.create_session()
+        w2 = bank.create_session()
+        w1.submit_script([
+            "BEGIN",
+            "UPDATE acct SET bal = 1 WHERE id = 1",
+            Statement("COMMIT", think_time=0.5),
+        ])
+        w2.submit_script([
+            Statement("UPDATE acct SET bal = 2 WHERE id = 2",
+                      think_time=0.05),
+        ])
+        bank.run()
+        assert w2.results[-1].query.times_blocked == 0
+
+    def test_blocked_event_carries_blocker(self, bank):
+        events = []
+        bank.events.subscribe(
+            "query.blocked",
+            lambda e, p: events.append(
+                (p["query"].user, [b.user for b in p["blockers"]])),
+        )
+        writer = bank.create_session(user="writer")
+        reader = bank.create_session(user="reader")
+        writer.submit_script([
+            "BEGIN",
+            "UPDATE acct SET bal = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=0.3),
+        ])
+        reader.submit_script([
+            Statement("SELECT bal FROM acct WHERE id = 1", think_time=0.1),
+        ])
+        bank.run()
+        assert events == [("reader", ["writer"])]
+
+    def test_block_released_reports_wait_time(self, bank):
+        waits = []
+        bank.events.subscribe(
+            "query.block_released",
+            lambda e, p: waits.append(p["wait_time"]))
+        writer = bank.create_session()
+        reader = bank.create_session()
+        writer.submit_script([
+            "BEGIN", "UPDATE acct SET bal = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=0.4),
+        ])
+        reader.submit_script([
+            Statement("SELECT bal FROM acct WHERE id = 1", think_time=0.1),
+        ])
+        bank.run()
+        assert len(waits) == 1
+        assert waits[0] == pytest.approx(0.3, abs=0.05)
+
+    def test_blocker_gets_blocking_counters(self, bank):
+        writer = bank.create_session()
+        reader = bank.create_session()
+        writer.submit_script([
+            "BEGIN", "UPDATE acct SET bal = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=0.4),
+        ])
+        reader.submit_script([
+            Statement("SELECT bal FROM acct WHERE id = 1", think_time=0.1),
+        ])
+        bank.run()
+        update_q = writer.results[1].query
+        assert update_q.queries_blocked == 1
+        assert update_q.time_blocking_others > 0.2
+
+
+class TestDeadlock:
+    def test_deadlock_aborts_one_victim(self, bank):
+        s1 = bank.create_session()
+        s2 = bank.create_session()
+        s1.submit_script([
+            "BEGIN",
+            "UPDATE acct SET bal = bal + 1 WHERE id = 1",
+            Statement("UPDATE acct SET bal = bal + 1 WHERE id = 2",
+                      think_time=0.2),
+            "COMMIT",
+        ])
+        s2.submit_script([
+            "BEGIN",
+            Statement("UPDATE acct SET bal = bal + 10 WHERE id = 2",
+                      think_time=0.1),
+            Statement("UPDATE acct SET bal = bal + 10 WHERE id = 1",
+                      think_time=0.2),
+            "COMMIT",
+        ])
+        bank.run()
+        errors = [r.error for r in s1.results + s2.results if r.error]
+        assert any("deadlock" in e for e in errors)
+        assert bank.locks.deadlocks_detected >= 1
+        # exactly one transaction's effects survive
+        check = bank.create_session()
+        rows = check.execute(
+            "SELECT bal FROM acct WHERE id IN (1, 2) ORDER BY id").rows
+        assert rows in ([(101.0,), (201.0,)], [(110.0,), (210.0,)])
+
+    def test_victim_session_continues_after_deadlock(self, bank):
+        s1 = bank.create_session()
+        s2 = bank.create_session()
+        s1.submit_script([
+            "BEGIN",
+            "UPDATE acct SET bal = 1 WHERE id = 1",
+            Statement("UPDATE acct SET bal = 1 WHERE id = 2",
+                      think_time=0.2),
+            "COMMIT",
+            "SELECT bal FROM acct WHERE id = 3",
+        ])
+        s2.submit_script([
+            "BEGIN",
+            Statement("UPDATE acct SET bal = 2 WHERE id = 2",
+                      think_time=0.1),
+            Statement("UPDATE acct SET bal = 2 WHERE id = 1",
+                      think_time=0.2),
+            "COMMIT",
+            "SELECT bal FROM acct WHERE id = 3",
+        ])
+        bank.run()
+        # both sessions ran their final select regardless of the deadlock
+        assert s1.results[-1].rows == [(300.0,)]
+        assert s2.results[-1].rows == [(300.0,)]
+
+
+class TestCancellation:
+    def test_cancel_running_query(self, bank):
+        session = bank.create_session()
+        cancelled = []
+        bank.events.subscribe("query.start", lambda e, p: (
+            bank.cancel_query(p["query"]),
+            cancelled.append(p["query"].query_id),
+        ))
+        result = session.execute("SELECT COUNT(*) FROM acct")
+        assert result.error is not None
+        assert "cancel" in result.error.lower()
+        assert cancelled
+
+    def test_cancel_blocked_query_releases_it(self, bank):
+        writer = bank.create_session()
+        reader = bank.create_session()
+        writer.submit_script([
+            "BEGIN", "UPDATE acct SET bal = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=5.0),
+        ])
+
+        def cancel_when_blocked(event, payload):
+            bank.cancel_query(payload["query"])
+
+        bank.events.subscribe("query.blocked", cancel_when_blocked)
+        reader.submit_script([
+            Statement("SELECT bal FROM acct WHERE id = 1", think_time=0.1),
+        ])
+        bank.run()
+        result = reader.results[-1]
+        assert result.error is not None
+        # the reader was released well before the writer's 5s hold
+        assert bank.clock.now < 6.0
+
+    def test_cancel_finished_query_is_noop(self, bank):
+        session = bank.create_session()
+        result = session.execute("SELECT bal FROM acct WHERE id = 1")
+        assert bank.cancel_query(result.query) is False

@@ -1,0 +1,84 @@
+"""Tests for the cost model helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import CostModel
+from repro.errors import (ActionError, BindError, CatalogError,
+                          ConditionSyntaxError, ConstraintError,
+                          DeadlockError, EngineError, ExecutionError,
+                          LATError, PlanError, QueryCancelledError,
+                          ReproError, RuleError, SchemaError, SQLCMError,
+                          SQLSyntaxError, TransactionError,
+                          TypeMismatchError)
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        costs = CostModel()
+        for name, value in vars(costs).items():
+            if isinstance(value, (int, float)):
+                assert value >= 0, name
+
+    def test_sort_cost_scales_n_log_n(self):
+        costs = CostModel()
+        small = costs.sort_cost(100)
+        large = costs.sort_cost(10_000)
+        assert large > 100 * small / 2  # superlinear
+        assert costs.sort_cost(0) == costs.sort_cost(1)
+
+    def test_fetch_cost_interpolates(self):
+        costs = CostModel()
+        hot = costs.fetch_cost(1.0)
+        cold = costs.fetch_cost(0.0)
+        mid = costs.fetch_cost(0.5)
+        assert hot == costs.row_fetch_cached
+        assert cold == costs.row_fetch_io / costs.rows_per_page
+        assert hot < mid < cold
+
+    def test_fetch_cost_clamps_ratio(self):
+        costs = CostModel()
+        assert costs.fetch_cost(2.0) == costs.fetch_cost(1.0)
+        assert costs.fetch_cost(-1.0) == costs.fetch_cost(0.0)
+
+    def test_monitoring_cheaper_than_logging(self):
+        """The calibration that drives Figure 3: one rule + LAT insert is
+        orders of magnitude below one synchronous log write."""
+        costs = CostModel()
+        per_rule = (costs.rule_eval_base + costs.action_dispatch
+                    + costs.lat_insert + 3 * costs.lat_latch)
+        assert per_rule * 1000 < costs.log_write_row_sync
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        EngineError, SQLSyntaxError, BindError, PlanError, ExecutionError,
+        TypeMismatchError, ConstraintError, CatalogError, TransactionError,
+        DeadlockError, QueryCancelledError, SQLCMError, SchemaError,
+        RuleError, ConditionSyntaxError, ActionError, LATError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_engine_vs_sqlcm_families(self):
+        assert issubclass(DeadlockError, EngineError)
+        assert issubclass(LATError, SQLCMError)
+        assert not issubclass(LATError, EngineError)
+
+    def test_syntax_errors_carry_position(self):
+        err = SQLSyntaxError("bad", position=7)
+        assert err.position == 7
+        err2 = ConditionSyntaxError("bad", position=3)
+        assert err2.position == 3
+
+    def test_cancel_is_execution_error(self):
+        assert issubclass(QueryCancelledError, ExecutionError)
+
+    def test_deadlock_is_transaction_error(self):
+        assert issubclass(DeadlockError, TransactionError)
+
+    def test_one_handler_catches_everything(self, items_server):
+        session = items_server.create_session()
+        with pytest.raises(ReproError):
+            session.execute("SELEKT broken")
+        with pytest.raises(ReproError):
+            session.execute("SELECT ghost FROM items")

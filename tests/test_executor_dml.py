@@ -1,0 +1,188 @@
+"""DML execution, transactions, and undo tests."""
+
+import pytest
+
+from repro.errors import ConstraintError, EngineError, TransactionError
+
+
+def q(server, sql, params=None):
+    session = server.create_session()
+    result = session.execute(sql, params)
+    server.close_session(session)
+    return result
+
+
+class TestInsert:
+    def test_insert_reports_rows_affected(self, items_server):
+        result = q(items_server,
+                   "INSERT INTO items VALUES (7, 'saw', 12.0, 2, 'tools')")
+        assert result.rows_affected == 1
+
+    def test_multi_row_insert(self, items_server):
+        result = q(items_server,
+                   "INSERT INTO items (id, name) VALUES (8, 'x'), (9, 'y')")
+        assert result.rows_affected == 2
+        rows = q(items_server, "SELECT price FROM items WHERE id = 8").rows
+        assert rows == [(None,)]
+
+    def test_duplicate_pk_rolls_back_statement(self, items_server):
+        session = items_server.create_session()
+        with pytest.raises(ConstraintError):
+            session.execute("INSERT INTO items (id, name) VALUES (1, 'dup')")
+        count = q(items_server, "SELECT COUNT(*) FROM items").rows[0][0]
+        assert count == 6
+
+    def test_insert_with_parameters(self, items_server):
+        q(items_server,
+          "INSERT INTO items (id, name, price) VALUES (@i, @n, @p)",
+          {"i": 20, "n": "param", "p": 3.5})
+        rows = q(items_server,
+                 "SELECT name, price FROM items WHERE id = 20").rows
+        assert rows == [("param", 3.5)]
+
+
+class TestUpdate:
+    def test_point_update(self, items_server):
+        result = q(items_server, "UPDATE items SET qty = 99 WHERE id = 1")
+        assert result.rows_affected == 1
+        assert q(items_server,
+                 "SELECT qty FROM items WHERE id = 1").rows == [(99,)]
+
+    def test_update_expression_references_old_value(self, items_server):
+        q(items_server, "UPDATE items SET qty = qty + 1, price = price * 2 "
+                        "WHERE id = 2")
+        rows = q(items_server,
+                 "SELECT qty, price FROM items WHERE id = 2").rows
+        assert rows == [(6, 4.0)]
+
+    def test_update_many_rows(self, items_server):
+        result = q(items_server,
+                   "UPDATE items SET qty = 0 WHERE segment = 'tools'")
+        assert result.rows_affected == 3
+
+    def test_update_no_match(self, items_server):
+        assert q(items_server,
+                 "UPDATE items SET qty = 1 WHERE id = 999").rows_affected == 0
+
+    def test_update_pk_maintains_index(self, items_server):
+        q(items_server, "UPDATE items SET id = 100 WHERE id = 1")
+        assert q(items_server,
+                 "SELECT name FROM items WHERE id = 100").rows == [("apple",)]
+        assert q(items_server,
+                 "SELECT name FROM items WHERE id = 1").rows == []
+
+
+class TestDelete:
+    def test_point_delete(self, items_server):
+        assert q(items_server,
+                 "DELETE FROM items WHERE id = 6").rows_affected == 1
+        assert q(items_server,
+                 "SELECT COUNT(*) FROM items").rows == [(5,)]
+
+    def test_delete_by_predicate(self, items_server):
+        assert q(items_server,
+                 "DELETE FROM items WHERE price < 1.0").rows_affected == 2
+
+    def test_delete_all(self, items_server):
+        assert q(items_server, "DELETE FROM items").rows_affected == 6
+
+
+class TestTransactions:
+    def test_commit_makes_changes_durable(self, items_server):
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        session.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        session.execute("COMMIT")
+        assert q(items_server,
+                 "SELECT qty FROM items WHERE id = 1").rows == [(1,)]
+
+    def test_rollback_undoes_update(self, items_server):
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        session.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        session.execute("ROLLBACK")
+        assert q(items_server,
+                 "SELECT qty FROM items WHERE id = 1").rows == [(10,)]
+
+    def test_rollback_undoes_insert_and_delete(self, items_server):
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO items (id, name) VALUES (50, 'temp')")
+        session.execute("DELETE FROM items WHERE id = 2")
+        session.execute("ROLLBACK")
+        assert q(items_server,
+                 "SELECT COUNT(*) FROM items").rows == [(6,)]
+        assert q(items_server,
+                 "SELECT name FROM items WHERE id = 2").rows == [("pear",)]
+
+    def test_rollback_restores_indexes(self, items_server):
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        session.execute("UPDATE items SET id = 77 WHERE id = 3")
+        session.execute("ROLLBACK")
+        assert q(items_server,
+                 "SELECT name FROM items WHERE id = 3").rows == [("plum",)]
+        assert q(items_server,
+                 "SELECT name FROM items WHERE id = 77").rows == []
+
+    def test_multi_statement_atomicity(self, items_server):
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        session.execute("UPDATE items SET qty = qty - 5 WHERE id = 1")
+        session.execute("UPDATE items SET qty = qty + 5 WHERE id = 2")
+        session.execute("ROLLBACK")
+        rows = q(items_server,
+                 "SELECT qty FROM items WHERE id IN (1, 2) ORDER BY id").rows
+        assert rows == [(10,), (5,)]
+
+    def test_commit_without_begin_fails(self, items_server):
+        session = items_server.create_session()
+        result = session.execute("SELECT id FROM items WHERE id = 1")
+        assert result.ok
+        commit = session.execute("COMMIT")
+        assert commit.error is not None
+
+    def test_nested_begin_rejected(self, items_server):
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        result = session.execute("BEGIN")
+        assert result.error is not None
+
+    def test_autocommit_releases_locks(self, items_server):
+        q(items_server, "UPDATE items SET qty = 1 WHERE id = 1")
+        # a second session can immediately write the same row
+        result = q(items_server, "UPDATE items SET qty = 2 WHERE id = 1")
+        assert result.rows_affected == 1
+
+    def test_txn_commit_event_carries_statements(self, items_server):
+        captured = []
+        items_server.events.subscribe(
+            "txn.commit", lambda e, p: captured.append(p["statements"]))
+        session = items_server.create_session()
+        session.execute("BEGIN")
+        session.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        session.execute("COMMIT")
+        assert len(captured[-1]) == 2
+
+
+class TestDDL:
+    def test_create_table_via_session(self, server):
+        session = server.create_session()
+        session.execute("CREATE TABLE fresh (a INT NOT NULL PRIMARY KEY, "
+                        "b FLOAT)")
+        session.execute("INSERT INTO fresh VALUES (1, 2.0)")
+        assert session.execute("SELECT b FROM fresh").rows == [(2.0,)]
+
+    def test_create_index_enables_seek(self, items_server):
+        items_server.execute_ddl(
+            "CREATE INDEX ix_price ON items (price)")
+        rows = q(items_server,
+                 "SELECT name FROM items WHERE price = 9.5").rows
+        assert rows == [("hammer",)]
+
+    def test_ddl_invalidates_plan_cache(self, items_server):
+        q(items_server, "SELECT id FROM items WHERE id = 1")
+        assert len(items_server.plan_cache) > 0
+        items_server.execute_ddl("CREATE INDEX ix_q ON items (qty)")
+        assert len(items_server.plan_cache) == 0

@@ -1,0 +1,93 @@
+"""Tests for EXPLAIN plan rendering."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+from repro.engine.planner.explain import explain_plan, explain_query
+
+
+class TestExplain:
+    def test_point_query_shows_index_seek(self, items_server):
+        text = explain_query(items_server,
+                             "SELECT name FROM items WHERE id = 1")
+        assert "INDEXSEEK(items.pk_items)" in text
+        assert "PROJECT" in text
+        assert "rows=1" in text
+
+    def test_scan_query_shows_table_scan(self, items_server):
+        text = explain_query(items_server,
+                             "SELECT name FROM items WHERE price > 1")
+        assert "TABLESCAN(items)" in text
+        assert "filtered" in text
+
+    def test_join_plan_rendered_with_children_indented(self, items_server):
+        items_server.execute_ddl(
+            "CREATE TABLE seg (name VARCHAR(10) NOT NULL PRIMARY KEY)")
+        text = explain_query(
+            items_server,
+            "SELECT i.name FROM items i JOIN seg s ON i.segment = s.name")
+        lines = [l for l in text.splitlines() if "signature" not in l]
+        join_line = next(l for l in lines if "HASHJOIN" in l)
+        child_lines = [l for l in lines if "TABLESCAN" in l]
+        assert len(child_lines) == 2
+        assert all(len(l) - len(l.lstrip()) >
+                   len(join_line) - len(join_line.lstrip())
+                   for l in child_lines)
+
+    def test_signatures_included(self, items_server):
+        text = explain_query(items_server,
+                             "SELECT name FROM items WHERE id = 42")
+        assert "logical signature" in text
+        assert "GET(items)" in text
+        assert "?" in text  # the constant became a wildcard
+
+    def test_uses_cached_plan_when_available(self, items_server):
+        session = items_server.create_session()
+        sql = "SELECT name FROM items WHERE id = 1"
+        session.execute(sql)
+        hits_before = items_server.plan_cache.hits
+        explain_query(items_server, sql)
+        assert items_server.plan_cache.hits == hits_before + 1
+
+    def test_update_plan_shows_lock_mode(self, items_server):
+        text = explain_query(items_server,
+                             "UPDATE items SET qty = 0 WHERE id = 1")
+        assert "UPDATE(items)" in text
+        assert "lock=X" in text
+
+    def test_aggregate_plan(self, items_server):
+        text = explain_query(
+            items_server,
+            "SELECT segment, COUNT(*) FROM items GROUP BY segment")
+        assert "AGG(COUNT_STAR)" in text
+        assert "groups=1" in text
+
+    def test_sort_directions(self, items_server):
+        text = explain_query(
+            items_server,
+            "SELECT name FROM items ORDER BY price DESC, name ASC")
+        assert "[desc,asc]" in text
+
+    def test_explain_plan_direct(self, items_server):
+        from repro.engine.planner.logical import build_logical_plan
+        from repro.engine.sqlparse.parser import parse_statement
+        stmt = parse_statement("SELECT id FROM items LIMIT 3")
+        plan = items_server.optimizer.optimize(
+            build_logical_plan(stmt, items_server.catalog))
+        text = explain_plan(plan)
+        assert "LIMIT(3)" in text
+
+    def test_cli_explain_command(self):
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.execute_line("CREATE TABLE t (a INT PRIMARY KEY)")
+        shell.execute_line(".explain SELECT a FROM t WHERE a = 1")
+        assert "INDEXSEEK" in out.getvalue()
+
+    def test_cli_explain_bad_sql(self):
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.execute_line(".explain SELEKT nope")
+        assert "error:" in out.getvalue()

@@ -1,0 +1,182 @@
+"""Tests for the extension applications: login auditing (Example 4b),
+statistics-drift correction (Section 2.1), adaptive MPL (Example 5c)."""
+
+import pytest
+
+from repro import DatabaseServer, Rule, ServerConfig, SQLCM, Statement
+from repro.apps import AdaptiveMPLGovernor, LoginAuditor, StatsCorrector
+from repro.core.actions import CallbackAction
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def world(items_server):
+    return items_server, SQLCM(items_server)
+
+
+class TestLoginFailures:
+    def test_authenticator_gates_sessions(self, world):
+        server, __ = world
+        server.set_authenticator(lambda user, cred: cred == "secret")
+        session = server.create_session(user="ok", credential="secret")
+        assert session is not None
+        with pytest.raises(EngineError, match="login failed"):
+            server.create_session(user="bad", credential="wrong")
+        assert server.login_failures == 1
+
+    def test_login_failed_event_reaches_rules(self, world):
+        server, sqlcm = world
+        server.set_authenticator(lambda user, cred: cred == "s")
+        seen = []
+        sqlcm.add_rule(Rule(
+            name="watch", event="Session.Login_Failed",
+            actions=[CallbackAction(
+                lambda s, c: seen.append(c["session"].get("User")))],
+        ))
+        for __ in range(2):
+            with pytest.raises(EngineError):
+                server.create_session(user="mallory", credential="x")
+        assert seen == ["mallory", "mallory"]
+
+    def test_login_auditor_counts_and_alerts(self, world):
+        server, sqlcm = world
+        server.set_authenticator(lambda user, cred: cred == "s")
+        auditor = LoginAuditor(sqlcm, alert_threshold=3)
+        for __ in range(4):
+            with pytest.raises(EngineError):
+                server.create_session(user="mallory", credential="x")
+        with pytest.raises(EngineError):
+            server.create_session(user="casual", credential="x")
+        failures = {row["Login"]: row["Failures"]
+                    for row in auditor.failures()}
+        assert failures == {"mallory": 4, "casual": 1}
+        # alerts fired on the 3rd and 4th mallory attempts only
+        assert len(auditor.alerts()) == 2
+        assert "mallory" in auditor.alerts()[0].body
+
+    def test_failures_age_out(self, world):
+        server, sqlcm = world
+        server.set_authenticator(lambda user, cred: False)
+        auditor = LoginAuditor(sqlcm, alert_threshold=99, window=10.0)
+        with pytest.raises(EngineError):
+            server.create_session(user="u", credential="x")
+        assert auditor.failures()[0]["Failures"] == 1
+        server.clock.advance(100.0)
+        assert auditor.failures()[0]["Failures"] == 0
+
+    def test_session_login_event_object(self, world):
+        server, sqlcm = world
+        seen = []
+        sqlcm.add_rule(Rule(
+            name="logins", event="Session.Login",
+            actions=[CallbackAction(
+                lambda s, c: seen.append(c["session"].get("Application")))],
+        ))
+        server.create_session(user="x", application="erp")
+        assert seen == ["erp"]
+
+
+class TestStatsCorrector:
+    def test_drift_detected_and_refresh_requested(self, world):
+        server, sqlcm = world
+        corrector = StatsCorrector(sqlcm, drift_factor=3.0, min_instances=5)
+        session = server.create_session()
+        # "price > 0" matches all 6 rows but the optimizer guesses 30% of 6
+        # ≈ 1.8 rows → actual (6) > 3x estimated... make drift bigger by a
+        # predicate whose estimate is tiny but matches everything
+        for __ in range(6):
+            session.execute(
+                "SELECT id FROM items WHERE price > 0.0 AND qty > 0 "
+                "AND name != 'zzz' AND segment != 'none'")
+        assert len(corrector.refresh_requests) >= 1
+        assert "SELECT id FROM items" in corrector.refresh_requests[0]
+
+    def test_no_drift_no_request(self, world):
+        server, sqlcm = world
+        corrector = StatsCorrector(sqlcm, drift_factor=10.0,
+                                   min_instances=3)
+        session = server.create_session()
+        for __ in range(5):
+            session.execute("SELECT name FROM items WHERE id = 1")
+        assert corrector.refresh_requests == []
+
+    def test_rearms_after_request(self, world):
+        server, sqlcm = world
+        corrector = StatsCorrector(sqlcm, drift_factor=3.0, min_instances=4)
+        session = server.create_session()
+        sql = ("SELECT id FROM items WHERE price > 0.0 AND qty > 0 "
+               "AND name != 'zzz' AND segment != 'none'")
+        for __ in range(4):
+            session.execute(sql)
+        first_requests = len(corrector.refresh_requests)
+        assert first_requests == 1
+        # the template's row was dropped: next instance is not an instant
+        # re-fire; evidence must accumulate again
+        session.execute(sql)
+        assert len(corrector.refresh_requests) == first_requests
+
+    def test_refresh_callback_invoked(self, world):
+        server, sqlcm = world
+        refreshed = []
+        StatsCorrector(sqlcm, drift_factor=3.0, min_instances=3,
+                       refresh_callback=refreshed.append)
+        session = server.create_session()
+        for __ in range(3):
+            session.execute(
+                "SELECT id FROM items WHERE price > 0.0 AND qty > 0 "
+                "AND name != 'zzz' AND segment != 'none'")
+        assert refreshed
+
+
+class TestAdaptiveMPL:
+    def _contended_server(self):
+        server = DatabaseServer(ServerConfig())
+        server.execute_ddl(
+            "CREATE TABLE hot (id INT NOT NULL PRIMARY KEY, v FLOAT)")
+        loader = server.create_session()
+        loader.execute("INSERT INTO hot VALUES (1, 1.0), (2, 2.0)")
+        return server
+
+    def test_mpl_relaxes_when_idle(self):
+        server = self._contended_server()
+        sqlcm = SQLCM(server)
+        governor = AdaptiveMPLGovernor(
+            sqlcm, initial_mpl=4, max_mpl=6, control_interval=1.0,
+            low_blocking=0.1, high_blocking=1.0)
+        server.run(until=3.5)  # no blocking at all → relax each tick
+        assert governor.mpl == 6
+        assert [m for __, m in governor.adjustments] == [5, 6]
+
+    def test_mpl_tightens_under_blocking(self):
+        server = self._contended_server()
+        sqlcm = SQLCM(server)
+        governor = AdaptiveMPLGovernor(
+            sqlcm, initial_mpl=4, min_mpl=1, control_interval=1.0,
+            low_blocking=0.01, high_blocking=0.5, window=30.0)
+        # writer holds the lock; readers pile up blocking delay
+        writer = server.create_session(user="w")
+        writer.submit_script([
+            "BEGIN",
+            "UPDATE hot SET v = 9 WHERE id = 1",
+            Statement("COMMIT", think_time=2.5),
+        ])
+        for i in range(3):
+            reader = server.create_session(user=f"r{i}")
+            reader.submit_script([
+                Statement("SELECT v FROM hot WHERE id = 1",
+                          think_time=0.1 * (i + 1)),
+            ])
+        server.run(until=6.0)
+        assert governor.mpl < 4
+        assert governor.adjustments
+
+    def test_enforcement_uses_current_mpl(self):
+        server = self._contended_server()
+        sqlcm = SQLCM(server)
+        governor = AdaptiveMPLGovernor(
+            sqlcm, initial_mpl=0, control_interval=100.0,
+            exempt_users=("dbo",))
+        victim = server.create_session(user="app")
+        result = victim.execute("SELECT v FROM hot WHERE id = 1")
+        assert result.error is not None
+        assert governor.mpl_rejected == 1

@@ -1,0 +1,225 @@
+"""End-to-end integration scenarios mirroring the paper's experiments."""
+
+import pytest
+
+from repro import (DatabaseServer, InsertAction, LATDefinition,
+                   PersistAction, Rule, ServerConfig, SQLCM, Statement)
+from repro.apps import TopKTracker
+from repro.monitoring import (PullHistoryMonitor, PullMonitor,
+                              QueryLoggingMonitor, missed_top_k,
+                              top_k_ground_truth)
+from repro.workloads import (TPCHConfig, WorkloadMix, mixed_paper_workload)
+from repro.workloads.generator import lineitem_key_sample
+from repro.workloads.tpch import setup_tpch
+
+
+def build_world(with_tracking=True):
+    server = DatabaseServer(ServerConfig(track_completed_queries=with_tracking))
+    counts = setup_tpch(server, TPCHConfig().scaled(0.05))
+    return server, counts
+
+
+def run_mix(server, counts, short=150, joins=4, seed=7):
+    keys = lineitem_key_sample(server, 100)
+    mix = WorkloadMix(short_queries=short, join_queries=joins,
+                      join_rows_low=100, join_rows_high=200, seed=seed)
+    statements = mixed_paper_workload(
+        mix, orders_rows=counts["orders"],
+        lineitem_rows=counts["lineitem"], lineitem_keys=keys)
+    session = server.create_session(application="workload")
+    start = server.clock.now
+    proc = session.submit_script(statements)
+    # run until the workload completes: attached pollers loop forever
+    server.scheduler.run_until_done(proc)
+    return session, server.clock.now - start
+
+
+class TestWorkloadReplay:
+    def test_identical_runs_produce_identical_virtual_times(self):
+        elapsed = []
+        for __ in range(2):
+            server, counts = build_world()
+            __, duration = run_mix(server, counts)
+            elapsed.append(duration)
+        assert elapsed[0] == elapsed[1]
+
+    def test_workload_has_no_errors(self):
+        server, counts = build_world()
+        session, __ = run_mix(server, counts)
+        assert not any(r.error for r in session.results)
+
+
+class TestSQLCMOverheadShape:
+    """Small-scale version of Figure 2's structure: overhead grows with the
+    number of rules and stays small relative to the workload."""
+
+    def _elapsed_with_rules(self, n_rules, conditions=1):
+        server, counts = build_world(with_tracking=False)
+        sqlcm = SQLCM(server)
+        for i in range(n_rules):
+            sqlcm.create_lat(LATDefinition(
+                name=f"L{i}",
+                grouping=["Query.ID AS Qid"],
+                aggregations=["LAST(Query.Duration) AS D",
+                              "LAST(Query.Query_Text) AS T"],
+                ordering=["Qid DESC"],
+                max_rows=10,
+            ))
+            condition = " AND ".join(
+                ["Query.Duration >= 0"] * conditions)
+            sqlcm.add_rule(Rule(
+                name=f"r{i}", event="Query.Commit", condition=condition,
+                actions=[InsertAction(f"L{i}")],
+            ))
+        __, duration = run_mix(server, counts, short=60, joins=0)
+        return duration
+
+    def test_overhead_increases_with_rule_count(self):
+        base = self._elapsed_with_rules(0)
+        few = self._elapsed_with_rules(10)
+        many = self._elapsed_with_rules(100)
+        assert base < few < many
+
+    def test_overhead_small_even_with_many_rules(self):
+        base = self._elapsed_with_rules(0)
+        many = self._elapsed_with_rules(100, conditions=10)
+        overhead = (many - base) / base
+        assert overhead < 0.10  # paper: < 4% at 1000 rules; small regardless
+
+    def test_condition_complexity_cheaper_than_lat_maintenance(self):
+        """Figure 2's second finding: complexity has little impact."""
+        simple = self._elapsed_with_rules(50, conditions=1)
+        complex_ = self._elapsed_with_rules(50, conditions=20)
+        base = self._elapsed_with_rules(0)
+        assert (complex_ - simple) < (simple - base)
+
+
+class TestTopKApproaches:
+    """Small-scale version of Figure 3: who wins on overhead and accuracy."""
+
+    def _baseline(self):
+        server, counts = build_world()
+        __, duration = run_mix(server, counts)
+        return duration
+
+    def test_sqlcm_cheapest_and_exact_on_joins(self):
+        base = self._baseline()
+
+        server, counts = build_world()
+        sqlcm = SQLCM(server)
+        tracker = TopKTracker(sqlcm, k=4)
+        __, monitored = run_mix(server, counts)
+        overhead = (monitored - base) / base
+        assert overhead < 0.01  # paper: < 0.1%
+        truth = top_k_ground_truth(server, 4)
+        assert missed_top_k(truth, tracker.top_k()) == 0
+
+    def test_logging_much_more_expensive_than_sqlcm(self):
+        base = self._baseline()
+
+        server, counts = build_world()
+        QueryLoggingMonitor(server)
+        __, logged = run_mix(server, counts)
+        logging_overhead = (logged - base) / base
+
+        server2, counts2 = build_world()
+        sqlcm = SQLCM(server2)
+        TopKTracker(sqlcm, k=4)
+        __, monitored = run_mix(server2, counts2)
+        sqlcm_overhead = (monitored - base) / base
+
+        assert logging_overhead > 0.15  # paper: > 20%
+        assert logging_overhead > 20 * max(sqlcm_overhead, 1e-6)
+
+    def test_pull_lossy_but_cheaper_than_logging(self):
+        base = self._baseline()
+        server, counts = build_world()
+        monitor = PullMonitor(server, interval=1.0)
+        monitor.start()
+        __, polled = run_mix(server, counts)
+        monitor.stop()
+        pull_overhead = (polled - base) / base
+        assert pull_overhead < 0.10
+        truth = top_k_ground_truth(server, 4)
+        assert missed_top_k(truth, monitor.top_k(4)) >= 1
+
+    def test_pull_history_exact_but_costlier_than_sqlcm(self):
+        base = self._baseline()
+        server, counts = build_world()
+        monitor = PullHistoryMonitor(server, interval=1.0)
+        monitor.start()
+        __, polled = run_mix(server, counts)
+        monitor.stop()
+        truth = top_k_ground_truth(server, 4)
+        assert missed_top_k(truth, monitor.top_k(4)) == 0
+        history_overhead = (polled - base) / base
+
+        server2, counts2 = build_world()
+        sqlcm = SQLCM(server2)
+        TopKTracker(sqlcm, k=4)
+        __, monitored = run_mix(server2, counts2)
+        sqlcm_overhead = (monitored - base) / base
+        assert history_overhead > sqlcm_overhead
+
+
+class TestPaperRuleVerbatim:
+    """The exact rule from Section 2.3: persist queries slower than a
+    threshold at commit."""
+
+    def test_slow_query_persisted(self):
+        server, counts = build_world()
+        sqlcm = SQLCM(server)
+        sqlcm.add_rule(Rule(
+            name="paper_rule",
+            event="Query.Commit",
+            condition="Query.Duration > 0.05",
+            actions=[PersistAction("slow_queries",
+                                   ["ID", "Query_Text", "Duration"],
+                                   source="Query")],
+        ))
+        run_mix(server, counts, short=30, joins=2)
+        table = server.table("slow_queries")
+        assert table.row_count == 2  # exactly the two join queries
+        for __, row in table.scan():
+            assert row[2] > 0.05
+
+
+class TestDynamicRuleManagement:
+    """Section 3's closing note: rules can be added/removed dynamically,
+    e.g. turned on and off based on time of day."""
+
+    def test_toggle_rules_mid_workload(self):
+        server, counts = build_world()
+        sqlcm = SQLCM(server)
+        sqlcm.create_lat(LATDefinition(
+            name="CountLat",
+            grouping=["Query.Application AS App"],
+            aggregations=["COUNT(Query.ID) AS N"],
+        ))
+        sqlcm.add_rule(Rule(name="count_queries", event="Query.Commit",
+                            actions=[InsertAction("CountLat")]))
+        session = server.create_session(application="app")
+        session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+        sqlcm.enable_rule("count_queries", False)
+        session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 2")
+        sqlcm.enable_rule("count_queries", True)
+        session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 3")
+        assert sqlcm.lat("CountLat").lookup(("app",))["N"] == 2
+
+    def test_threshold_adjustment_via_replacement(self):
+        server, counts = build_world()
+        sqlcm = SQLCM(server)
+        sqlcm.add_rule(Rule(
+            name="slow", event="Query.Commit",
+            condition="Query.Duration > 100",
+            actions=[PersistAction("slow_q", ["ID"], source="Query")],
+        ))
+        sqlcm.remove_rule("slow")
+        sqlcm.add_rule(Rule(
+            name="slow", event="Query.Commit",
+            condition="Query.Duration > 0.0001",
+            actions=[PersistAction("slow_q", ["ID"], source="Query")],
+        ))
+        session = server.create_session()
+        session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+        assert server.table("slow_q").row_count == 1

@@ -1,0 +1,224 @@
+"""Additional cross-cutting scenarios from the paper's text."""
+
+import pytest
+
+from repro import (AggSpec, AgingSpec, DatabaseServer, InsertAction,
+                   LATDefinition, PersistAction, Rule, ServerConfig, SQLCM,
+                   Statement)
+from repro.core.actions import CallbackAction
+from repro.engine.txn import IsolationLevel
+
+
+@pytest.fixture
+def world(items_server):
+    return items_server, SQLCM(items_server)
+
+
+def _run(server, sql, params=None):
+    session = server.create_session()
+    result = session.execute(sql, params)
+    server.close_session(session)
+    return result
+
+
+class TestEvictedRowPersistence:
+    """Section 4.3: 'it is possible to specify additional rules that e.g.
+    persist the evicted row to a table'."""
+
+    def test_evicted_rows_persisted_by_rule(self, world):
+        server, sqlcm = world
+        sqlcm.create_lat(LATDefinition(
+            name="Tiny",
+            grouping=["Query.ID AS Qid"],
+            aggregations=["MAX(Query.Duration) AS D"],
+            ordering=["D DESC"],
+            max_rows=1,
+        ))
+        sqlcm.add_rule(Rule(name="fill", event="Query.Commit",
+                            actions=[InsertAction("Tiny")]))
+        sqlcm.add_rule(Rule(
+            name="spill", event="Evicted.Evict",
+            actions=[PersistAction("evicted_log", ["Qid", "D"],
+                                   source="Evicted")],
+        ))
+        for __ in range(3):
+            _run(server, "SELECT id FROM items WHERE id = 1")
+        table = server.table("evicted_log")
+        assert table.row_count == 2  # 3 inserts into a 1-row LAT
+
+    def test_eviction_cascade_respects_event_ordering(self, world):
+        """Evict events are queued until the triggering event's rules all
+        ran (Section 5's ordering contract)."""
+        server, sqlcm = world
+        order = []
+        sqlcm.create_lat(LATDefinition(
+            name="Tiny2",
+            grouping=["Query.ID AS Qid"],
+            aggregations=["MAX(Query.Duration) AS D"],
+            ordering=["D DESC"],
+            max_rows=1,
+        ))
+        sqlcm.add_rule(Rule(name="fill", event="Query.Commit",
+                            actions=[InsertAction("Tiny2")]))
+        sqlcm.add_rule(Rule(
+            name="after_fill", event="Query.Commit",
+            actions=[CallbackAction(lambda s, c: order.append("commit"))],
+        ))
+        sqlcm.add_rule(Rule(
+            name="on_evict", event="Evicted.Evict",
+            actions=[CallbackAction(lambda s, c: order.append("evict"))],
+        ))
+        _run(server, "SELECT id FROM items WHERE id = 1")
+        _run(server, "SELECT id FROM items WHERE id = 2")
+        # each commit's rules finish before the evict event is processed
+        assert order == ["commit", "commit", "evict"]
+
+
+class TestLockEscalation:
+    def test_large_update_takes_table_lock(self, items_server):
+        """Full-table updates escalate to a table X lock, blocking even
+        readers of unrelated rows (the trade-off SQL Server makes)."""
+        writer = items_server.create_session()
+        reader = items_server.create_session()
+        writer.submit_script([
+            "BEGIN",
+            "UPDATE items SET qty = 0",  # no predicate → scan → table X
+            Statement("COMMIT", think_time=0.5),
+        ])
+        reader.submit_script([
+            Statement("SELECT name FROM items WHERE id = 1",
+                      think_time=0.1),
+        ])
+        items_server.run()
+        assert reader.results[-1].query.times_blocked == 1
+
+    def test_point_updates_use_row_locks(self, items_server):
+        writer = items_server.create_session()
+        reader = items_server.create_session()
+        writer.submit_script([
+            "BEGIN",
+            "UPDATE items SET qty = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=0.5),
+        ])
+        reader.submit_script([
+            Statement("SELECT name FROM items WHERE id = 2",
+                      think_time=0.1),
+        ])
+        items_server.run()
+        assert reader.results[-1].query.times_blocked == 0
+
+
+class TestAgingInRules:
+    def test_aging_average_reacts_to_regime_change(self, world):
+        """Aging (Section 4.3): baseline performance changes over time, so
+        old probe values should stop influencing the average."""
+        server, sqlcm = world
+        sqlcm.create_lat(LATDefinition(
+            name="Aged",
+            grouping=["Query.Application AS App"],
+            aggregations=[AggSpec("AVG", "Duration", "Avg_D",
+                                  aging=AgingSpec(window=10.0, delta=1.0))],
+        ))
+        sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                            actions=[InsertAction("Aged")]))
+        session = server.create_session(application="app")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        early = sqlcm.lat("Aged").lookup(("app",))["Avg_D"]
+        assert early > 0
+        server.clock.advance(50.0)
+        # the old sample aged out entirely
+        assert sqlcm.lat("Aged").lookup(("app",))["Avg_D"] is None
+
+    def test_aging_lat_not_cacheable_for_eviction(self, world):
+        """Ordering on an aging column disables importance memoization but
+        still evicts correctly as values decay."""
+        server, sqlcm = world
+        lat = sqlcm.create_lat(LATDefinition(
+            name="AgedOrder",
+            grouping=["Query.ID AS Qid"],
+            aggregations=[AggSpec("SUM", "Duration", "S",
+                                  aging=AgingSpec(window=5.0, delta=1.0))],
+            ordering=["S DESC"],
+            max_rows=2,
+        ))
+        assert lat._ordering_cacheable is False
+        for i in range(4):
+            lat.insert({"id": i, "duration": float(i + 1)})
+        assert len(lat) == 2
+
+
+class TestMultiGroupingColumns:
+    def test_lat_with_composite_group_key(self, world):
+        server, sqlcm = world
+        sqlcm.create_lat(LATDefinition(
+            name="ByUserType",
+            grouping=["Query.User AS U", "Query.Query_Type AS T"],
+            aggregations=["COUNT(Query.ID) AS N"],
+        ))
+        sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                            actions=[InsertAction("ByUserType")]))
+        alice = server.create_session(user="alice")
+        bob = server.create_session(user="bob")
+        alice.execute("SELECT id FROM items WHERE id = 1")
+        alice.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        bob.execute("SELECT id FROM items WHERE id = 2")
+        lat = sqlcm.lat("ByUserType")
+        assert lat.lookup(("alice", "SELECT"))["N"] == 1
+        assert lat.lookup(("alice", "UPDATE"))["N"] == 1
+        assert lat.lookup(("bob", "SELECT"))["N"] == 1
+        assert lat.lookup(("bob", "UPDATE")) is None
+
+    def test_condition_matches_on_composite_key(self, world):
+        server, sqlcm = world
+        sqlcm.create_lat(LATDefinition(
+            name="ByUserType2",
+            grouping=["Query.User AS U", "Query.Query_Type AS T"],
+            aggregations=["COUNT(Query.ID) AS N"],
+        ))
+        sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                            actions=[InsertAction("ByUserType2")]))
+        hits = []
+        sqlcm.add_rule(Rule(
+            name="updates_twice", event="Query.Commit",
+            condition="ByUserType2.N >= 2 AND Query.Query_Type = 'UPDATE'",
+            actions=[CallbackAction(lambda s, c: hits.append(
+                c["query"].get("User")))],
+        ))
+        alice = server.create_session(user="alice")
+        alice.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        alice.execute("SELECT id FROM items WHERE id = 1")
+        alice.execute("UPDATE items SET qty = 2 WHERE id = 1")
+        assert hits == ["alice"]
+
+
+class TestBlockerDesignation:
+    def test_shared_holders_designate_one_blocker(self, items_server):
+        """Section 6.1: when multiple queries share a resource another
+        query waits on, one holder is designated the Blocker."""
+        sqlcm = SQLCM(items_server)
+        blockers = []
+        sqlcm.add_rule(Rule(
+            name="watch", event="Query.Blocked",
+            actions=[CallbackAction(
+                lambda s, c: blockers.append(
+                    c["blocker"].get("User") if "blocker" in c else None),
+                required=())],
+        ))
+        r1 = items_server.create_session(user="s_holder_1")
+        r2 = items_server.create_session(user="s_holder_2")
+        w = items_server.create_session(user="writer")
+        # two readers hold S on the same row inside explicit txns
+        for reader in (r1, r2):
+            reader.isolation = IsolationLevel.REPEATABLE_READ
+            reader.submit_script([
+                "BEGIN",
+                "SELECT name FROM items WHERE id = 1",
+                Statement("COMMIT", think_time=0.5),
+            ])
+        w.submit_script([
+            Statement("UPDATE items SET qty = 0 WHERE id = 1",
+                      think_time=0.1),
+        ])
+        items_server.run()
+        assert len(blockers) == 1
+        assert blockers[0] in ("s_holder_1", "s_holder_2")

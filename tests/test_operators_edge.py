@@ -1,0 +1,182 @@
+"""Edge-case tests for execution operators and isolation levels."""
+
+import pytest
+
+from repro import DatabaseServer, ServerConfig, Statement
+from repro.engine.txn import IsolationLevel
+
+
+def q(server, sql, params=None):
+    session = server.create_session()
+    result = session.execute(sql, params)
+    server.close_session(session)
+    return result.rows
+
+
+@pytest.fixture
+def duo_server(server):
+    server.execute_ddl(
+        "CREATE TABLE l (id INT NOT NULL PRIMARY KEY, k INT, v FLOAT)")
+    server.execute_ddl(
+        "CREATE TABLE r (id INT NOT NULL PRIMARY KEY, k INT, w FLOAT)")
+    s = server.create_session()
+    s.execute("INSERT INTO l VALUES (1, 10, 1.0), (2, 10, 2.0), "
+              "(3, 20, 3.0), (4, NULL, 4.0)")
+    s.execute("INSERT INTO r VALUES (1, 10, 5.0), (2, 10, 6.0), "
+              "(3, 30, 7.0), (4, NULL, 8.0)")
+    return server
+
+
+class TestJoinEdgeCases:
+    def test_hash_join_duplicates_multiply(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT l.id, r.id FROM l JOIN r ON l.k = r.k")
+        # k=10: 2 left rows × 2 right rows = 4 combinations
+        assert len(rows) == 4
+
+    def test_null_keys_never_join(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT l.id FROM l JOIN r ON l.k = r.k WHERE l.id = 4")
+        assert rows == []
+
+    def test_left_join_null_key_row_survives(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT l.id, r.id FROM l LEFT JOIN r ON l.k = r.k "
+                 "WHERE l.id = 4")
+        assert rows == [(4, None)]
+
+    def test_left_join_where_on_left_side_pushed(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT l.id, r.id FROM l LEFT JOIN r ON l.k = r.k "
+                 "WHERE l.v > 2.5 ORDER BY l.id")
+        assert [row[0] for row in rows] == [3, 4]
+        assert all(row[1] is None for row in rows)
+
+    def test_join_on_expression_falls_back_to_nl(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT l.id, r.id FROM l JOIN r ON l.k = r.k + 20 "
+                 "ORDER BY l.id, r.id")
+        # l.k=30 never; l.k matches r.k+20 → l.k=30? none; k=10+20=30: l
+        # has none; l.k=20 matches r.k=0: none... wait: r.k+20 ∈ {30, 30,
+        # 50}: l.k=20 never matches, l.k=10 never. Expect empty.
+        assert rows == []
+
+    def test_self_join_with_aliases(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT a.id, b.id FROM l a JOIN l b ON a.k = b.k "
+                 "WHERE a.id < b.id")
+        assert rows == [(1, 2)]
+
+
+class TestAggregationEdgeCases:
+    def test_group_by_expression(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT k / 10, COUNT(*) FROM l WHERE k IS NOT NULL "
+                 "GROUP BY k / 10 ORDER BY k / 10")
+        assert rows == [(1, 2), (2, 1)]
+
+    def test_aggregate_over_join(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT l.k, SUM(r.w) FROM l JOIN r ON l.k = r.k "
+                 "GROUP BY l.k")
+        assert rows == [(10, 22.0)]
+
+    def test_null_group_key_forms_group(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT k, COUNT(*) FROM l GROUP BY k ORDER BY k")
+        assert (None, 1) in rows
+
+    def test_having_on_avg(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT k FROM l GROUP BY k HAVING AVG(v) > 1.4 "
+                 "AND k IS NOT NULL ORDER BY k")
+        assert rows == [(10,), (20,)]
+
+    def test_arithmetic_over_aggregates(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT MAX(v) - MIN(v) FROM l")
+        assert rows == [(3.0,)]
+
+
+class TestSortLimitEdgeCases:
+    def test_sort_stability_across_keys(self, duo_server):
+        rows = q(duo_server,
+                 "SELECT id FROM l ORDER BY k ASC, id DESC")
+        # NULL k first, then k=10 ids desc, then k=20
+        assert rows == [(4,), (2,), (1,), (3,)]
+
+    def test_limit_larger_than_result(self, duo_server):
+        rows = q(duo_server, "SELECT id FROM l LIMIT 100")
+        assert len(rows) == 4
+
+    def test_distinct_expressions(self, duo_server):
+        rows = q(duo_server, "SELECT DISTINCT v > 2.0 FROM l")
+        assert sorted(rows) == [(False,), (True,)]
+
+
+class TestDMLEdgeCases:
+    def test_update_indexed_column_no_halloween(self, duo_server):
+        """Updating the seek key must not revisit moved rows."""
+        duo_server.execute_ddl("CREATE INDEX ix_lk ON l (k)")
+        result_session = duo_server.create_session()
+        result = result_session.execute("UPDATE l SET k = k + 1 WHERE k = 10")
+        assert result.rows_affected == 2
+        assert q(duo_server,
+                 "SELECT COUNT(*) FROM l WHERE k = 11") == [(2,)]
+
+    def test_update_to_same_value(self, duo_server):
+        session = duo_server.create_session()
+        result = session.execute("UPDATE l SET v = v WHERE id = 1")
+        assert result.rows_affected == 1
+
+    def test_delete_then_reinsert_same_pk(self, duo_server):
+        session = duo_server.create_session()
+        session.execute("DELETE FROM l WHERE id = 1")
+        result = session.execute("INSERT INTO l VALUES (1, 99, 9.9)")
+        assert result.ok
+        assert q(duo_server, "SELECT k FROM l WHERE id = 1") == [(99,)]
+
+    def test_insert_duplicate_inside_txn_rolls_back_all(self, duo_server):
+        session = duo_server.create_session()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO l VALUES (50, 1, 1.0)")
+        try:
+            session.execute("INSERT INTO l VALUES (1, 1, 1.0)")  # dup PK
+        except Exception:
+            pass
+        # statement failed; txn still open, rollback undoes the first insert
+        session.execute("ROLLBACK")
+        assert q(duo_server, "SELECT COUNT(*) FROM l WHERE id = 50") == [(0,)]
+
+
+class TestIsolationLevels:
+    def test_repeatable_read_blocks_writer_until_commit(self, duo_server):
+        reader = duo_server.create_session(
+            user="rr", isolation=IsolationLevel.REPEATABLE_READ)
+        writer = duo_server.create_session(user="w")
+        reader.submit_script([
+            "BEGIN",
+            "SELECT v FROM l WHERE id = 1",
+            Statement("COMMIT", think_time=1.0),
+        ])
+        writer.submit_script([
+            Statement("UPDATE l SET v = 0 WHERE id = 1", think_time=0.1),
+        ])
+        duo_server.run()
+        update_q = writer.results[-1].query
+        assert update_q.times_blocked == 1
+        assert update_q.time_blocked > 0.5
+
+    def test_read_committed_does_not_block_writer(self, duo_server):
+        reader = duo_server.create_session(user="rc")
+        writer = duo_server.create_session(user="w")
+        reader.submit_script([
+            "BEGIN",
+            "SELECT v FROM l WHERE id = 1",
+            Statement("COMMIT", think_time=1.0),
+        ])
+        writer.submit_script([
+            Statement("UPDATE l SET v = 0 WHERE id = 1", think_time=0.1),
+        ])
+        duo_server.run()
+        assert writer.results[-1].query.times_blocked == 0

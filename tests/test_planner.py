@@ -1,0 +1,235 @@
+"""Tests for logical planning and the optimizer (access paths, joins)."""
+
+import pytest
+
+from repro.engine.catalog import Catalog, ColumnDef, IndexDef, TableSchema
+from repro.engine.planner import physical as phys
+from repro.engine.planner.logical import build_logical_plan
+from repro.engine.planner.optimizer import Optimizer
+from repro.engine.sqlparse.parser import parse_statement
+from repro.engine.types import SQLType
+from repro.errors import BindError, PlanError
+from repro.sim.costs import CostModel
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.create_table(TableSchema("items", [
+        ColumnDef("id", SQLType.INTEGER, nullable=False),
+        ColumnDef("name", SQLType.STRING),
+        ColumnDef("price", SQLType.FLOAT),
+        ColumnDef("cat_id", SQLType.INTEGER),
+    ], primary_key=["id"]))
+    catalog.table("items").add_index(
+        IndexDef("ix_items_cat", "items", ("cat_id",)))
+    catalog.create_table(TableSchema("cats", [
+        ColumnDef("cat_id", SQLType.INTEGER, nullable=False),
+        ColumnDef("label", SQLType.STRING),
+    ], primary_key=["cat_id"]))
+    return catalog
+
+
+@pytest.fixture
+def optimizer(catalog):
+    rows = {"items": 10_000, "cats": 50}
+    return Optimizer(catalog, lambda t: rows.get(t.lower(), 0), CostModel())
+
+
+def plan(optimizer, catalog, sql):
+    stmt = parse_statement(sql)
+    return optimizer.optimize(build_logical_plan(stmt, catalog))
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_index_seek(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT name FROM items WHERE id = 5")
+        scan = p.child
+        assert isinstance(scan, phys.PhysIndexSeek)
+        assert scan.index == "pk_items"
+        assert scan.estimated_rows == 1.0
+
+    def test_secondary_index_equality(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items WHERE cat_id = 3")
+        assert isinstance(p.child, phys.PhysIndexSeek)
+        assert p.child.index == "ix_items_cat"
+
+    def test_range_on_pk_uses_seek(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items WHERE id BETWEEN 10 AND 20")
+        seek = p.child
+        assert isinstance(seek, phys.PhysIndexSeek)
+        assert seek.range_low_fn is not None
+        assert seek.range_high_fn is not None
+
+    def test_non_indexed_predicate_scans(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items WHERE price > 5.0")
+        assert isinstance(p.child, phys.PhysTableScan)
+        assert p.child.filter_fn is not None
+
+    def test_residual_predicate_attached_to_seek(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items WHERE id = 5 AND price > 1.0")
+        seek = p.child
+        assert isinstance(seek, phys.PhysIndexSeek)
+        assert seek.filter_fn is not None
+
+    def test_no_predicate_full_scan(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT name FROM items")
+        assert isinstance(p.child, phys.PhysTableScan)
+        assert p.child.filter_fn is None
+
+    def test_flipped_operands_still_sargable(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT name FROM items WHERE 5 = id")
+        assert isinstance(p.child, phys.PhysIndexSeek)
+
+    def test_parameterized_predicate_sargable(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items WHERE id = @key")
+        assert isinstance(p.child, phys.PhysIndexSeek)
+
+
+class TestJoins:
+    def test_equi_join_becomes_hash_join(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT i.name, c.label FROM items i "
+                 "JOIN cats c ON i.cat_id = c.cat_id")
+        assert isinstance(p.child, phys.PhysHashJoin)
+
+    def test_join_condition_pushdown_single_table(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT i.name FROM items i JOIN cats c "
+                 "ON i.cat_id = c.cat_id WHERE i.id = 7")
+        join = p.child
+        assert isinstance(join, phys.PhysHashJoin)
+        assert isinstance(join.left, phys.PhysIndexSeek)
+
+    def test_non_equi_join_uses_nested_loops(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT i.name FROM items i JOIN cats c "
+                 "ON i.cat_id > c.cat_id")
+        assert isinstance(p.child, phys.PhysNLJoin)
+
+    def test_left_join_preserved(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT i.name, c.label FROM items i "
+                 "LEFT JOIN cats c ON i.cat_id = c.cat_id")
+        assert p.child.kind == "LEFT"
+
+    def test_cross_table_residual_inside_join(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT i.name FROM items i JOIN cats c "
+                 "ON i.cat_id = c.cat_id WHERE i.price > c.cat_id")
+        join = p.child
+        assert isinstance(join, phys.PhysHashJoin)
+        assert join.residual_fn is not None
+
+    def test_duplicate_binding_rejected(self, optimizer, catalog):
+        with pytest.raises(BindError):
+            plan(optimizer, catalog,
+                 "SELECT 1 FROM items x JOIN cats x ON x.cat_id = x.cat_id")
+
+
+class TestAggregatesAndShaping:
+    def test_group_by_plan_shape(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT cat_id, COUNT(*), AVG(price) FROM items "
+                 "GROUP BY cat_id")
+        assert isinstance(p, phys.PhysProject)
+        assert isinstance(p.child, phys.PhysAggregate)
+        assert len(p.child.aggs) == 2
+
+    def test_scalar_aggregate(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT COUNT(*) FROM items")
+        assert p.child.scalar
+
+    def test_having_becomes_filter_over_aggregate(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT cat_id FROM items GROUP BY cat_id "
+                 "HAVING COUNT(*) > 5")
+        assert isinstance(p.child, phys.PhysFilter)
+        assert isinstance(p.child.child, phys.PhysAggregate)
+
+    def test_having_without_group_rejected(self, optimizer, catalog):
+        with pytest.raises(PlanError):
+            plan(optimizer, catalog,
+                 "SELECT name FROM items HAVING name > 'a'")
+
+    def test_ungrouped_column_rejected(self, optimizer, catalog):
+        with pytest.raises(BindError):
+            plan(optimizer, catalog,
+                 "SELECT name, COUNT(*) FROM items GROUP BY cat_id")
+
+    def test_order_limit_project_shape(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items ORDER BY price DESC LIMIT 3")
+        assert isinstance(p, phys.PhysProject)
+        assert isinstance(p.child, phys.PhysLimit)
+        assert isinstance(p.child.child, phys.PhysSort)
+
+    def test_order_by_non_projected_column_allowed(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items ORDER BY price")
+        assert isinstance(p.child, phys.PhysSort)
+
+    def test_distinct_on_top(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT DISTINCT name FROM items")
+        assert isinstance(p, phys.PhysDistinct)
+
+    def test_star_expansion(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT * FROM items")
+        assert [c.name for c in p.columns] == ["id", "name", "price",
+                                               "cat_id"]
+
+
+class TestDMLPlans:
+    def test_update_child_locks_exclusively(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "UPDATE items SET price = price * 2 WHERE id = 1")
+        assert isinstance(p, phys.PhysUpdate)
+        assert p.child.lock_mode == "X"
+
+    def test_delete_plan(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "DELETE FROM items WHERE cat_id = 9")
+        assert isinstance(p, phys.PhysDelete)
+        assert p.child.with_rowids
+
+    def test_insert_plan(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "INSERT INTO items (id, name, price, cat_id) "
+                 "VALUES (1, 'x', 2.0, 3)")
+        assert isinstance(p, phys.PhysInsert)
+        assert p.estimated_rows == 1.0
+
+    def test_insert_arity_mismatch_rejected(self, optimizer, catalog):
+        with pytest.raises(PlanError):
+            plan(optimizer, catalog, "INSERT INTO items (id) VALUES (1, 2)")
+
+    def test_update_unknown_column_rejected(self, optimizer, catalog):
+        with pytest.raises(BindError):
+            plan(optimizer, catalog, "UPDATE items SET nope = 1")
+
+
+class TestCostEstimates:
+    def test_seek_cheaper_than_scan_for_point_query(self, optimizer,
+                                                    catalog):
+        seek = plan(optimizer, catalog,
+                    "SELECT name FROM items WHERE id = 1").child
+        scan = plan(optimizer, catalog,
+                    "SELECT name FROM items WHERE price = 1.0").child
+        assert seek.estimated_cost < scan.estimated_cost
+
+    def test_estimates_monotone_up_the_tree(self, optimizer, catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items WHERE price > 2 ORDER BY name")
+        node = p
+        while node.children:
+            child = node.children[0]
+            assert node.estimated_cost >= child.estimated_cost
+            node = child
+
+    def test_plan_node_count(self, optimizer, catalog):
+        p = plan(optimizer, catalog, "SELECT name FROM items")
+        assert phys.plan_node_count(p) == 2

@@ -1,0 +1,92 @@
+"""Tests for the DBA text reports."""
+
+import pytest
+
+from repro import (InsertAction, LATDefinition, Rule, SQLCM, Statement)
+from repro.monitoring.report import (blocking_health, full_report,
+                                     lat_contents,
+                                     monitoring_configuration,
+                                     server_activity)
+
+
+@pytest.fixture
+def world(items_server):
+    sqlcm = SQLCM(items_server)
+    sqlcm.create_lat(LATDefinition(
+        name="AppLat",
+        grouping=["Query.Application AS App"],
+        aggregations=["COUNT(Query.ID) AS N",
+                      "AVG(Query.Duration) AS AvgD"],
+    ))
+    sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                        actions=[InsertAction("AppLat")]))
+    return items_server, sqlcm
+
+
+class TestReports:
+    def test_monitoring_configuration_lists_rules_and_lats(self, world):
+        server, sqlcm = world
+        text = monitoring_configuration(sqlcm)
+        assert "track" in text
+        assert "Query.Commit" in text
+        assert "AppLat" in text
+
+    def test_lat_contents_renders_rows(self, world):
+        server, sqlcm = world
+        session = server.create_session(application="crm")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        text = lat_contents(sqlcm, "AppLat")
+        assert "crm" in text
+        assert "App" in text and "N" in text
+
+    def test_lat_contents_empty(self, world):
+        __, sqlcm = world
+        assert "empty" in lat_contents(sqlcm, "AppLat")
+
+    def test_blocking_health_idle(self, world):
+        server, sqlcm = world
+        text = blocking_health(server, sqlcm)
+        assert "no queries are currently blocked" in text
+        assert "deadlocks detected so far: 0" in text
+
+    def test_blocking_health_shows_waits(self, world):
+        server, sqlcm = world
+        writer = server.create_session(user="w")
+        reader = server.create_session(user="r")
+        writer.submit_script([
+            "BEGIN",
+            "UPDATE items SET qty = 0 WHERE id = 1",
+            Statement("COMMIT", think_time=5.0),
+        ])
+        reader.submit_script([
+            Statement("SELECT name FROM items WHERE id = 1",
+                      think_time=0.1),
+        ])
+        server.run(until=1.0)  # reader is mid-wait now
+        text = blocking_health(server, sqlcm)
+        assert "blocked qid" in text
+        assert "UPDATE items" in text
+        server.run()  # drain
+
+    def test_server_activity_recent_queries(self, world):
+        server, sqlcm = world
+        session = server.create_session()
+        session.execute("SELECT id FROM items WHERE id = 1")
+        text = server_activity(server)
+        assert "SELECT id FROM items" in text
+        assert "committed" in text
+
+    def test_full_report_combines_sections(self, world):
+        server, sqlcm = world
+        text = full_report(server, sqlcm)
+        assert "SERVER ACTIVITY" in text
+        assert "BLOCKING HEALTH" in text
+        assert "MONITORING CONFIGURATION" in text
+
+    def test_cli_report_command(self, world):
+        import io
+        from repro.cli import Shell
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.execute_line(".report")
+        assert "MONITORING CONFIGURATION" in out.getvalue()

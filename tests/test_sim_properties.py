@@ -1,0 +1,76 @@
+"""Property-based tests for the simulation substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Delay, Scheduler, SimClock
+
+delays = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestSchedulerProperties:
+    @settings(deadline=None)
+    @given(st.lists(st.lists(delays, min_size=1, max_size=10),
+                    min_size=1, max_size=6))
+    def test_clock_ends_at_longest_process(self, process_delays):
+        """With independent processes, final time = max process timeline."""
+        sched = Scheduler()
+
+        def proc(steps):
+            for dt in steps:
+                yield Delay(dt)
+
+        for i, steps in enumerate(process_delays):
+            sched.spawn(f"p{i}", proc(steps))
+        sched.run()
+        assert sched.clock.now == pytest.approx(
+            max(sum(steps) for steps in process_delays))
+
+    @settings(deadline=None)
+    @given(st.lists(st.lists(delays, min_size=1, max_size=8),
+                    min_size=1, max_size=5))
+    def test_clock_monotone_during_run(self, process_delays):
+        observed = []
+        sched = Scheduler()
+
+        def proc(steps):
+            for dt in steps:
+                yield Delay(dt)
+                observed.append(sched.clock.now)
+
+        for i, steps in enumerate(process_delays):
+            sched.spawn(f"p{i}", proc(steps))
+        sched.run()
+        assert observed == sorted(observed)
+
+    @settings(deadline=None)
+    @given(st.lists(delays, min_size=1, max_size=20))
+    def test_clock_advances_total(self, steps):
+        clock = SimClock()
+        for dt in steps:
+            clock.advance(dt)
+        assert clock.now == pytest.approx(sum(steps))
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_all_processes_complete(self, n):
+        def gen(i):
+            yield Delay(0.1 * i)
+
+        sched = Scheduler()
+        handles = [sched.spawn(f"p{i}", gen(i)) for i in range(n)]
+        sched.run()
+        assert all(h.done for h in handles)
+
+
+class TestDeterminism:
+    @settings(deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_identical_seeds_identical_workloads(self, seed):
+        from repro.workloads.generator import short_select_workload
+        a = short_select_workload(20, orders_rows=50,
+                                  lineitem_keys=[(1, 1), (2, 1)], seed=seed)
+        b = short_select_workload(20, orders_rows=50,
+                                  lineitem_keys=[(1, 1), (2, 1)], seed=seed)
+        assert [s.sql for s in a] == [s.sql for s in b]

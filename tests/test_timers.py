@@ -1,0 +1,116 @@
+"""Tests for Timer objects and periodic rule invocation."""
+
+import pytest
+
+from repro import Rule, SQLCM, SetTimerAction
+from repro.core.actions import CallbackAction
+from repro.errors import ActionError
+
+
+@pytest.fixture
+def monitored(server):
+    return server, SQLCM(server)
+
+
+class TestTimerService:
+    def test_alert_fires_at_interval(self, monitored):
+        server, sqlcm = monitored
+        times = []
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(
+                lambda s, c: times.append(round(server.clock.now, 3)))],
+        ))
+        sqlcm.set_timer("t", interval=1.0, repeats=3)
+        server.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_zero_repeats_disables(self, monitored):
+        server, sqlcm = monitored
+        fired = []
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(lambda s, c: fired.append(1))],
+        ))
+        sqlcm.set_timer("t", interval=1.0, repeats=0)
+        server.run(until=5.0)
+        assert fired == []
+
+    def test_negative_repeats_infinite(self, monitored):
+        server, sqlcm = monitored
+        fired = []
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(lambda s, c: fired.append(1))],
+        ))
+        sqlcm.set_timer("t", interval=0.5, repeats=-1)
+        server.run(until=5.2)
+        assert len(fired) == 10
+
+    def test_rearming_replaces_schedule(self, monitored):
+        server, sqlcm = monitored
+        times = []
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(
+                lambda s, c: times.append(round(server.clock.now, 3)))],
+        ))
+        sqlcm.set_timer("t", interval=1.0, repeats=-1)
+        server.run(until=2.5)  # fires at 1.0, 2.0
+        sqlcm.set_timer("t", interval=5.0, repeats=1)  # re-arm
+        server.run(until=20.0)
+        assert times == [1.0, 2.0, 7.5]
+
+    def test_disarm_stops_pending_process(self, monitored):
+        server, sqlcm = monitored
+        fired = []
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(lambda s, c: fired.append(1))],
+        ))
+        sqlcm.set_timer("t", interval=1.0, repeats=-1)
+        server.run(until=1.5)
+        sqlcm.set_timer("t", interval=1.0, repeats=0)  # disarm
+        server.run(until=10.0)
+        assert len(fired) == 1
+
+    def test_multiple_timers_independent(self, monitored):
+        server, sqlcm = monitored
+        names = []
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(
+                lambda s, c: names.append(c["timer"].get("Name")))],
+        ))
+        sqlcm.set_timer("fast", interval=1.0, repeats=2)
+        sqlcm.set_timer("slow", interval=1.5, repeats=1)
+        server.run(until=10.0)
+        assert names == ["fast", "slow", "fast"]
+
+    def test_condition_can_select_specific_timer(self, monitored):
+        server, sqlcm = monitored
+        fired = []
+        sqlcm.add_rule(Rule(
+            name="only_fast", event="Timer.Alert",
+            condition="Timer.Name = 'fast'",
+            actions=[CallbackAction(lambda s, c: fired.append(1))],
+        ))
+        sqlcm.set_timer("fast", interval=1.0, repeats=1)
+        sqlcm.set_timer("slow", interval=1.0, repeats=1)
+        server.run(until=5.0)
+        assert len(fired) == 1
+
+    def test_set_timer_action_validation(self):
+        with pytest.raises(ActionError):
+            SetTimerAction("t", interval=-1.0, repeats=2).validate(None, None)
+
+    def test_timer_rule_cost_charged_in_background(self, monitored):
+        """Timer rule work advances the clock via the timer's own process."""
+        server, sqlcm = monitored
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(lambda s, c: None)],
+        ))
+        sqlcm.set_timer("t", interval=1.0, repeats=1)
+        server.run(until=10.0)
+        assert server.take_monitor_cost() == 0.0  # drained by the timer

@@ -1,0 +1,117 @@
+"""Tests for workload trace recording and replay."""
+
+import pytest
+
+from repro import Statement
+from repro.workloads.trace import (TraceRecorder, replay, replay_script)
+
+
+@pytest.fixture
+def traced(items_server):
+    recorder = TraceRecorder(items_server)
+    return items_server, recorder
+
+
+class TestRecording:
+    def test_committed_statements_recorded(self, traced):
+        server, recorder = traced
+        session = server.create_session(user="u", application="a")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        session.execute("UPDATE items SET qty = 1 WHERE id = 1")
+        assert [e.text for e in recorder.entries] == [
+            "SELECT id FROM items WHERE id = 1",
+            "UPDATE items SET qty = 1 WHERE id = 1",
+        ]
+        assert recorder.entries[0].outcome == "committed"
+        assert recorder.entries[0].user == "u"
+        assert recorder.entries[0].duration > 0
+
+    def test_failed_statements_recorded_with_outcome(self, traced):
+        server, recorder = traced
+        session = server.create_session()
+        try:
+            session.execute("SELECT ghost FROM items")
+        except Exception:
+            pass
+        assert recorder.entries[-1].outcome == "rolled_back"
+
+    def test_application_filter(self, items_server):
+        recorder = TraceRecorder(items_server, applications={"prod"})
+        prod = items_server.create_session(application="prod")
+        test = items_server.create_session(application="test")
+        prod.execute("SELECT id FROM items WHERE id = 1")
+        test.execute("SELECT id FROM items WHERE id = 2")
+        assert len(recorder.entries) == 1
+        assert recorder.entries[0].application == "prod"
+
+    def test_detach_stops_recording(self, traced):
+        server, recorder = traced
+        recorder.detach()
+        session = server.create_session()
+        session.execute("SELECT id FROM items WHERE id = 1")
+        assert recorder.entries == []
+
+    def test_params_recorded(self, traced):
+        server, recorder = traced
+        session = server.create_session()
+        session.execute("SELECT id FROM items WHERE id = @k", {"k": 3})
+        assert recorder.entries[0].params == {"k": 3}
+
+
+class TestSerialization:
+    def test_dump_load_roundtrip(self, traced):
+        server, recorder = traced
+        session = server.create_session()
+        session.execute("SELECT id FROM items WHERE id = @k", {"k": 2})
+        text = recorder.dump()
+        restored = TraceRecorder.load(text)
+        assert restored == recorder.entries
+
+
+class TestReplay:
+    def test_replay_script_preserves_gaps(self, traced):
+        server, recorder = traced
+        session = server.create_session()
+        session.submit_script([
+            Statement("SELECT id FROM items WHERE id = 1"),
+            Statement("SELECT id FROM items WHERE id = 2", think_time=2.0),
+        ])
+        server.run()
+        script = replay_script(recorder.entries)
+        assert script[0].think_time == 0.0
+        assert script[1].think_time == pytest.approx(2.0, abs=0.1)
+
+    def test_time_scale_compresses(self, traced):
+        server, recorder = traced
+        session = server.create_session()
+        session.submit_script([
+            Statement("SELECT id FROM items WHERE id = 1"),
+            Statement("SELECT id FROM items WHERE id = 2", think_time=4.0),
+        ])
+        server.run()
+        script = replay_script(recorder.entries, time_scale=0.25)
+        assert script[1].think_time == pytest.approx(1.0, abs=0.05)
+
+    def test_replay_on_fresh_server_reproduces_results(self, traced):
+        server, recorder = traced
+        session = server.create_session(application="orig")
+        session.execute("SELECT name FROM items WHERE id = 2")
+        session.execute("UPDATE items SET qty = 77 WHERE id = 2")
+
+        # fresh server with the same schema/data
+        from repro import DatabaseServer, ServerConfig
+        fresh = DatabaseServer(ServerConfig(track_completed_queries=True))
+        fresh.execute_ddl(
+            "CREATE TABLE items (id INT NOT NULL PRIMARY KEY, "
+            "name VARCHAR(30), price FLOAT, qty INT, segment VARCHAR(10))"
+        )
+        loader = fresh.create_session()
+        loader.execute(
+            "INSERT INTO items (id, name, price, qty, segment) VALUES "
+            "(2, 'pear', 2.0, 5, 'fruit')")
+        replay_session = replay(fresh, recorder.entries)
+        fresh.run()
+        assert replay_session.results[0].rows == [("pear",)]
+        check = fresh.create_session()
+        assert check.execute(
+            "SELECT qty FROM items WHERE id = 2").rows == [(77,)]
