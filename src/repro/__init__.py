@@ -35,9 +35,10 @@ Quickstart::
 """
 
 from repro.core import (SQLCM, AggSpec, AgingSpec, CancelAction,
-                        InsertAction, LATDefinition, OrderSpec,
-                        PersistAction, ResetAction, Rule, RunExternalAction,
-                        SendMailAction, SetTimerAction)
+                        FaultInjector, FaultSpec, InsertAction,
+                        LATDefinition, OrderSpec, PersistAction,
+                        QuarantinePolicy, ResetAction, RetryPolicy, Rule,
+                        RunExternalAction, SendMailAction, SetTimerAction)
 from repro.engine import (ColumnDef, DatabaseServer, IfStep, IndexDef,
                           ProcedureDef, ServerConfig, Session, Statement,
                           TableSchema)
@@ -61,6 +62,10 @@ __all__ = [
     "RunExternalAction",
     "CancelAction",
     "SetTimerAction",
+    "FaultInjector",
+    "FaultSpec",
+    "QuarantinePolicy",
+    "RetryPolicy",
     "DatabaseServer",
     "ServerConfig",
     "Session",

@@ -11,11 +11,12 @@ Besides SQL, the shell understands monitoring meta-commands:
 =====================  ======================================================
 ``.lats``              list LATs and their row counts
 ``.lat NAME``          print a LAT's rows
-``.rules``             list rules with fire statistics
+``.rules``             list rules with fire/error/quarantine statistics
 ``.monitor topk K``    install a top-K-expensive-queries tracker
 ``.monitor outliers``  install the Example 1 outlier detector
 ``.queries``           recently completed queries (id, duration, text)
 ``.outbox``            SendMail deliveries
+``.deadletters``       side-effect actions that exhausted their retries
 ``.report``            full DBA report (activity, blocking, monitoring)
 ``.explain SQL``       show the physical plan and signatures for a query
 ``.clock``             current virtual time
@@ -100,12 +101,26 @@ class Shell:
                     f"{k}={_fmt(v)}" for k, v in row.items()))
         elif command == ".rules":
             for rule in self.sqlcm.rules.values():
-                state = "on" if rule.enabled else "off"
-                self._print(f"  [{state}] {rule.name} ON {rule.event}: "
-                            f"{rule.evaluation_count} evals, "
-                            f"{rule.fire_count} fired")
+                health = self.sqlcm.health.health_of(rule.name)
+                if health.quarantined:
+                    state = "quarantined"
+                elif not rule.enabled:
+                    state = "off"
+                else:
+                    state = "on"
+                line = (f"  [{state}] {rule.name} ON {rule.event}: "
+                        f"{rule.evaluation_count} evals, "
+                        f"{rule.fire_count} fired")
+                if health.error_count:
+                    line += f", {health.error_count} errors"
+                if health.quarantined and health.quarantine_reason:
+                    line += f" — {health.quarantine_reason}"
+                self._print(line)
             if not self.sqlcm.rules:
                 self._print("  (no rules)")
+            if self.sqlcm.dead_letters.depth:
+                self._print(f"  dead letters: "
+                            f"{self.sqlcm.dead_letters.depth}")
         elif command == ".monitor" and len(parts) > 1:
             self._install_monitor(parts[1:])
         elif command == ".queries":
@@ -117,6 +132,13 @@ class Shell:
             for mail in self.sqlcm.outbox:
                 self._print(f"  to {mail.address}: {mail.body}")
             if not self.sqlcm.outbox:
+                self._print("  (empty)")
+        elif command == ".deadletters":
+            for entry in self.sqlcm.dead_letters.entries():
+                self._print(f"  t={entry.time:.3f}s rule={entry.rule} "
+                            f"{entry.payload} ({entry.attempts} attempts): "
+                            f"{entry.error}")
+            if not self.sqlcm.dead_letters.depth:
                 self._print("  (empty)")
         elif command == ".report":
             from repro.monitoring.report import full_report

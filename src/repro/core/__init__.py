@@ -16,6 +16,10 @@ from repro.core.actions import (CancelAction, InsertAction, PersistAction,
                                 SendMailAction, SetTimerAction)
 from repro.core.engine import SQLCM
 from repro.core.lat import AggSpec, AgingSpec, LATDefinition, OrderSpec
+from repro.core.resilience import (DeadLetter, DeadLetterJournal,
+                                   FaultInjector, FaultSpec,
+                                   QuarantinePolicy, RetryPolicy,
+                                   RuleHealth, RuleHealthRegistry)
 from repro.core.rules import Rule
 from repro.core.schema import SCHEMA
 
@@ -34,4 +38,12 @@ __all__ = [
     "CancelAction",
     "SetTimerAction",
     "SCHEMA",
+    "DeadLetter",
+    "DeadLetterJournal",
+    "FaultInjector",
+    "FaultSpec",
+    "QuarantinePolicy",
+    "RetryPolicy",
+    "RuleHealth",
+    "RuleHealthRegistry",
 ]

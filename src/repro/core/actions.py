@@ -59,6 +59,12 @@ def _substitute(template: str, context: dict[str, MonitoredObject],
 class Action:
     """Base class for rule actions."""
 
+    #: side-effecting actions (mail, external programs, persist writes) get
+    #: bounded retry + dead-lettering from the engine's isolation boundary;
+    #: internal actions (LAT maintenance, cancel, timers) fail fast instead
+    #: because retrying them is not idempotent-safe
+    side_effect = False
+
     def required_classes(self, sqlcm) -> set[str]:
         """Monitored classes that must be in context for this action."""
         return set()
@@ -69,6 +75,11 @@ class Action:
     def execute(self, sqlcm, rule, context: dict[str, MonitoredObject],
                 lat_rows: dict[str, dict | None]) -> None:
         raise NotImplementedError
+
+    def describe(self, context: dict[str, MonitoredObject],
+                 lat_rows: dict[str, dict | None]) -> str:
+        """Human-readable payload for dead-letter entries."""
+        return repr(self)
 
 
 @dataclass
@@ -96,6 +107,7 @@ class InsertAction(Action):
         sqlcm.server.add_monitor_cost(
             costs.lat_insert + 3 * costs.lat_latch
         )
+        sqlcm.check_fault("lat.insert")
         evicted = lat.insert(obj)
         if evicted:
             sqlcm.server.add_monitor_cost(costs.lat_evict * len(evicted))
@@ -125,6 +137,8 @@ class PersistAction(Action):
     table: str
     attributes: list[str] | None = None
     source: str | None = None  # class name or LAT name; default: event class
+
+    side_effect = True
 
     def _resolve_source(self, sqlcm, rule) -> tuple[str, str]:
         """Returns ("lat"|"class", lowercase name)."""
@@ -166,6 +180,9 @@ class PersistAction(Action):
             raise ActionError(f"Persist: no {name!r} object in context")
         sqlcm.persist_object(obj, self.table, self.attributes)
 
+    def describe(self, context, lat_rows) -> str:
+        return f"Persist -> {self.table} (source={self.source or 'event'})"
+
 
 @dataclass
 class SendMailAction(Action):
@@ -177,10 +194,17 @@ class SendMailAction(Action):
     text: str
     address: str
 
+    side_effect = True
+
     def execute(self, sqlcm, rule, context, lat_rows) -> None:
         sqlcm.server.add_monitor_cost(sqlcm.server.costs.sendmail_cost)
         body = _substitute(self.text, context, lat_rows)
+        sqlcm.check_fault("sink")
         sqlcm.outbox.append(Mail(sqlcm.server.clock.now, self.address, body))
+
+    def describe(self, context, lat_rows) -> str:
+        return (f"SendMail to {self.address}: "
+                f"{_substitute(self.text, context, lat_rows)}")
 
 
 @dataclass
@@ -190,14 +214,22 @@ class RunExternalAction(Action):
 
     command: str
 
+    side_effect = True
+
     def execute(self, sqlcm, rule, context, lat_rows) -> None:
         sqlcm.server.add_monitor_cost(sqlcm.server.costs.runexternal_cost)
         rendered = _substitute(self.command, context, lat_rows)
+        sqlcm.check_fault("sink")
+        if sqlcm.external_handler is not None:
+            sqlcm.external_handler(rendered)
+        # journal records *delivered* invocations: appended only after the
+        # handler succeeds so retried deliveries are not double-counted
         sqlcm.command_journal.append(
             Command(sqlcm.server.clock.now, rendered)
         )
-        if sqlcm.external_handler is not None:
-            sqlcm.external_handler(rendered)
+
+    def describe(self, context, lat_rows) -> str:
+        return f"RunExternal: {_substitute(self.command, context, lat_rows)}"
 
 
 @dataclass

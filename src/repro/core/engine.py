@@ -30,6 +30,10 @@ from typing import Any, Callable, Iterable
 from repro.core.condition import bind_condition
 from repro.core.lat import LAT, LATDefinition
 from repro.core.objects import MonitoredObject, ObjectFactory
+from repro.core.resilience import (CHECKSUM_COLUMN, DeadLetter,
+                                   DeadLetterJournal, FaultInjector,
+                                   QuarantinePolicy, RetryPolicy,
+                                   RuleHealthRegistry, row_checksum)
 from repro.core.rules import Rule
 from repro.core.schema import SCHEMA, SQLCMSchema
 from repro.core.signatures import (SignatureRegistry, linearize_logical,
@@ -40,7 +44,9 @@ from repro.engine.catalog import ColumnDef, TableSchema
 from repro.engine.planner.logical import walk_logical
 from repro.engine.planner.physical import walk_physical
 from repro.engine.types import SQLType
-from repro.errors import LATError, RuleError, SchemaError
+from repro.errors import (ActionDeliveryError, FaultInjected, LATError,
+                          PersistCorruptionError, RuleError,
+                          RuleQuarantinedError, SchemaError)
 
 _SIGNATURE_ATTRS = {"logical_signature", "physical_signature"}
 _INSTANCE_ATTRS = {"number_of_instances"}
@@ -49,7 +55,10 @@ _INSTANCE_ATTRS = {"number_of_instances"}
 class SQLCM:
     """SQL Continuous Monitoring engine, embedded in a database server."""
 
-    def __init__(self, server, schema: SQLCMSchema | None = None):
+    def __init__(self, server, schema: SQLCMSchema | None = None,
+                 faults: FaultInjector | None = None,
+                 quarantine: QuarantinePolicy | None = None,
+                 retry: RetryPolicy | None = None):
         self.server = server
         self.schema = schema or SCHEMA
         self.factory = ObjectFactory(self)
@@ -68,6 +77,14 @@ class SQLCM:
         self._dispatching = False
         self.events_handled = 0
         self.rule_firings = 0
+        # fault-isolation layer: rule failures are caught at the boundary,
+        # charged to the clock, and recorded here instead of crashing the
+        # triggering query (the paper's non-intrusiveness contract)
+        self.health = RuleHealthRegistry(quarantine)
+        self.retry_policy = retry or RetryPolicy()
+        self.dead_letters = DeadLetterJournal()
+        self.faults = faults
+        self.rule_errors = 0
         for event in ("query.start", "query.commit", "query.cancel",
                       "query.rollback", "query.blocked",
                       "query.block_released", "txn.begin", "txn.commit",
@@ -154,7 +171,48 @@ class SQLCM:
         rule = self.rules.get(name.lower())
         if rule is None:
             raise RuleError(f"unknown rule {name!r}")
+        if enabled and self.health.health_of(name).quarantined:
+            raise RuleQuarantinedError(
+                f"rule {name!r} is quarantined "
+                f"({self.health.health_of(name).quarantine_reason}); "
+                f"call release_quarantine first")
         rule.enabled = enabled
+
+    # ------------------------------------------------------------------
+    # fault isolation: health, quarantine, fault injection
+    # ------------------------------------------------------------------
+
+    def rule_health(self, name: str):
+        """The :class:`RuleHealth` record of a registered rule."""
+        if name.lower() not in self.rules:
+            raise RuleError(f"unknown rule {name!r}")
+        return self.health.health_of(name)
+
+    def quarantined_rules(self) -> list[str]:
+        """Names of rules currently held out by the circuit breaker."""
+        quarantined = {h.name for h in self.health.quarantined()}
+        return [r.name for r in self._rule_order
+                if r.name.lower() in quarantined]
+
+    def release_quarantine(self, name: str) -> None:
+        """DBA override: put a quarantined rule back in the eval path."""
+        if name.lower() not in self.rules:
+            raise RuleError(f"unknown rule {name!r}")
+        self.health.release(name)
+
+    def set_fault_injector(self, faults: FaultInjector | None) -> None:
+        """Install (or remove, with None) the deterministic fault harness."""
+        self.faults = faults
+
+    def check_fault(self, site: str) -> None:
+        """Consult the fault injector at one site; charges latency faults
+        to the monitor-cost pool, lets exception faults propagate to the
+        enclosing isolation boundary."""
+        if self.faults is None:
+            return
+        extra = self.faults.check(site)
+        if extra:
+            self.server.add_monitor_cost(extra)
 
     def set_timer(self, name: str, interval: float, repeats: int = -1):
         """Arm a timer (the Set action, also usable directly)."""
@@ -257,10 +315,18 @@ class SQLCM:
                 self._process_event(queued_event, queued_payload)
         finally:
             self._dispatching = False
+            # if _process_event escaped (engine bug, not a rule failure —
+            # those are isolated), drop this dispatch's deferred work so a
+            # later unrelated event does not drain another event's queue
+            self._event_queue.clear()
 
     def enqueue_evict_event(self, lat_name: str, row: dict) -> None:
         """Called by InsertAction when a LAT row is evicted."""
         if self._rules_by_event.get("lat.evict"):
+            try:
+                self.check_fault("lat.evict")
+            except FaultInjected:
+                return  # this eviction notification is lost (counted)
             self._event_queue.append(
                 ("lat.evict", {"lat": lat_name, "row": row})
             )
@@ -275,9 +341,18 @@ class SQLCM:
         context = self._build_context(event, payload)
         if context is None:
             return
+        now = self.server.clock.now
         for rule in list(rules):
-            if rule.enabled:
+            if not rule.enabled:
+                continue
+            self.server.add_monitor_cost(costs.quarantine_check)
+            if not self.health.allow(rule.name, now):
+                continue
+            try:
                 self._evaluate_rule(rule, context)
+            except Exception as err:
+                # isolation backstop: scope iteration / context failures
+                self._record_rule_failure(rule, "evaluate", err)
 
     # ------------------------------------------------------------------
     # context assembly
@@ -322,6 +397,8 @@ class SQLCM:
         if event == "lat.evict":
             return {"evicted": factory.evicted_row(payload["lat"],
                                                    payload["row"])}
+        if event == "sqlcm.rule_error":
+            return {"rulefailure": factory.rule_failure(payload)}
         return {}
 
     def _iterate_class(self, class_name: str) -> list[MonitoredObject]:
@@ -405,30 +482,142 @@ class SQLCM:
                     expanded.append(candidate)
             combos = expanded
 
+        evaluated = False
+        failed = False
         for combo in combos:
             rule.evaluation_count += 1
+            evaluated = True
             self.server.add_monitor_cost(
                 costs.rule_eval_base
                 + costs.rule_atomic_condition * rule.atomic_condition_count
             )
             lat_rows: dict[str, dict | None] = {}
-            if cond is not None:
-                for lat_name in cond.lats:
-                    lat = self.lat(lat_name)
-                    owner = lat.definition.monitored_class.lower()
-                    obj = combo.get(owner)
-                    self.server.add_monitor_cost(
-                        costs.lat_lookup + costs.lat_latch
-                    )
-                    lat_rows[lat_name] = (
-                        lat.lookup_object(obj) if obj is not None else None
-                    )
-            if cond is None or cond.evaluate(combo, lat_rows):
-                rule.fire_count += 1
-                self.rule_firings += 1
-                for action in rule.actions:
-                    self.server.add_monitor_cost(costs.action_dispatch)
-                    action.execute(self, rule, combo, lat_rows)
+            try:
+                self.check_fault("condition")
+                if cond is not None:
+                    for lat_name in cond.lats:
+                        lat = self.lat(lat_name)
+                        owner = lat.definition.monitored_class.lower()
+                        obj = combo.get(owner)
+                        self.server.add_monitor_cost(
+                            costs.lat_lookup + costs.lat_latch
+                        )
+                        lat_rows[lat_name] = (
+                            lat.lookup_object(obj) if obj is not None
+                            else None
+                        )
+                fired = cond is None or cond.evaluate(combo, lat_rows)
+            except Exception as err:
+                self._record_rule_failure(rule, "condition", err)
+                failed = True
+                continue
+            if not fired:
+                continue
+            rule.fire_count += 1
+            self.rule_firings += 1
+            for action in rule.actions:
+                self.server.add_monitor_cost(costs.action_dispatch)
+                if not self._run_action(rule, action, combo, lat_rows):
+                    failed = True
+        if evaluated and not failed:
+            self.health.record_success(rule.name)
+
+    # ------------------------------------------------------------------
+    # isolation boundary: action execution, retry, dead letters
+    # ------------------------------------------------------------------
+
+    def _run_action(self, rule: Rule, action,
+                    combo: dict[str, MonitoredObject],
+                    lat_rows: dict[str, dict | None]) -> bool:
+        """Execute one action inside the isolation boundary.
+
+        Side-effecting actions get bounded retry with backoff and land in
+        the dead-letter journal when undeliverable; internal actions fail
+        fast (retrying LAT maintenance or Cancel is not idempotent-safe).
+        Returns True on success.
+        """
+        if action.side_effect:
+            try:
+                self._deliver_with_retry(rule, action, combo, lat_rows)
+                return True
+            except ActionDeliveryError as err:
+                self._dead_letter(rule, action, combo, lat_rows, err)
+                self._record_rule_failure(rule, "action", err)
+                return False
+        try:
+            self.check_fault("action")
+            action.execute(self, rule, combo, lat_rows)
+            return True
+        except Exception as err:
+            self._record_rule_failure(rule, "action", err)
+            return False
+
+    def _deliver_with_retry(self, rule: Rule, action,
+                            combo: dict[str, MonitoredObject],
+                            lat_rows: dict[str, dict | None]) -> int:
+        """Attempt delivery up to ``retry_policy.max_attempts`` times.
+
+        Backoff between attempts is charged as virtual monitoring time.
+        Returns the attempt number that succeeded; raises
+        :class:`ActionDeliveryError` when the budget is exhausted.
+        """
+        policy = self.retry_policy
+        last: Exception | None = None
+        for attempt in range(1, max(1, policy.max_attempts) + 1):
+            if attempt > 1:
+                self.server.add_monitor_cost(policy.delay_before(attempt))
+            try:
+                self.check_fault("action")
+                action.execute(self, rule, combo, lat_rows)
+                return attempt
+            except Exception as err:
+                last = err
+        raise ActionDeliveryError(
+            f"{type(action).__name__} undeliverable after "
+            f"{policy.max_attempts} attempts: {last}",
+            attempts=max(1, policy.max_attempts),
+        ) from last
+
+    def _dead_letter(self, rule: Rule, action,
+                     combo: dict[str, MonitoredObject],
+                     lat_rows: dict[str, dict | None],
+                     err: ActionDeliveryError) -> None:
+        self.server.add_monitor_cost(self.server.costs.dead_letter_append)
+        cause = err.__cause__ if err.__cause__ is not None else err
+        self.dead_letters.append(DeadLetter(
+            time=self.server.clock.now,
+            rule=rule.name,
+            action=type(action).__name__,
+            payload=action.describe(combo, lat_rows),
+            error=f"{type(cause).__name__}: {cause}",
+            attempts=err.attempts,
+            action_obj=action,
+            context=dict(combo),
+            lat_rows=dict(lat_rows),
+        ))
+
+    def _record_rule_failure(self, rule: Rule, site: str,
+                             error: BaseException) -> None:
+        """Charge, account, and surface one isolated rule failure."""
+        self.server.add_monitor_cost(self.server.costs.rule_error_cost)
+        self.rule_errors += 1
+        now = self.server.clock.now
+        health, newly_quarantined = self.health.record_failure(
+            rule.name, site, error, now)
+        # meta-monitoring: surface the failure as a monitorable event, but
+        # never for failures of rules that themselves watch rule failures
+        # (that would recurse)
+        if self._rules_by_event.get("sqlcm.rule_error") and \
+                rule.event_def is not None and \
+                rule.event_def.engine_event != "sqlcm.rule_error":
+            self._event_queue.append(("sqlcm.rule_error", {
+                "rule": rule.name,
+                "site": site,
+                "error": f"{type(error).__name__}: {error}",
+                "error_count": health.error_count,
+                "quarantined": newly_quarantined or health.quarantined,
+                "time": now,
+            }))
 
     # ------------------------------------------------------------------
     # persistence (Persist action + LAT restore)
@@ -437,17 +626,56 @@ class SQLCM:
     _TIMESTAMP_COLUMN = "sqlcm_ts"
 
     def persist_lat(self, lat_name: str, table_name: str) -> int:
-        """Write all LAT rows to a disk-resident table; returns row count."""
+        """Write all LAT rows to a disk-resident table; returns row count.
+
+        Each row carries a CRC32 checksum column (torn-write detection for
+        :meth:`restore_lat`).  A persist that fails mid-write compensates by
+        deleting the rows it already wrote, so a retried Persist action
+        never duplicates state; an injected *partial* fault simulates a
+        crash mid-write instead — the torn rows stay behind with a bad
+        checksum for restore to detect.
+        """
         lat = self.lat(lat_name)
         rows = lat.rows()
         columns = lat.definition.column_names()
         self._ensure_reporting_table(table_name, columns,
-                                     self._lat_column_types(lat))
+                                     self._lat_column_types(lat),
+                                     with_checksum=True)
         table = self.server.table(table_name)
+        has_crc = any(c.name.lower() == CHECKSUM_COLUMN
+                      for c in table.schema.columns)
         now = self.server.clock.now
-        for row in rows:
-            self.server.add_monitor_cost(self.server.costs.persist_row)
-            table.insert([row.get(c) for c in columns] + [now])
+        partial: FaultInjected | None = None
+        try:
+            self.check_fault("lat.persist")
+        except FaultInjected as err:
+            if err.mode != "partial":
+                raise
+            partial = err
+        cutoff = len(rows) if partial is None else max(1, len(rows) // 2)
+        written: list[int] = []
+        try:
+            for index, row in enumerate(rows[:cutoff]):
+                self.server.add_monitor_cost(self.server.costs.persist_row)
+                values = [row.get(c) for c in columns] + [now]
+                if has_crc:
+                    self.server.add_monitor_cost(
+                        self.server.costs.persist_checksum_per_row)
+                    coerced = table.prepare_row(values + [0])
+                    crc = row_checksum(coerced[:-1])
+                    if partial is not None and index == cutoff - 1:
+                        crc ^= 0xFFFF  # torn final record
+                    coerced[-1] = crc
+                    values = coerced
+                written.append(table.insert(values))
+        except Exception:
+            # compensation: a failed persist leaves no partial state, so a
+            # retried delivery starts from a clean slate
+            for rowid in written:
+                table.delete(rowid)
+            raise
+        if partial is not None:
+            raise partial  # simulated crash: torn rows stay behind
         return len(rows)
 
     def persist_object(self, obj: MonitoredObject, table_name: str,
@@ -468,6 +696,7 @@ class SQLCM:
         self._ensure_reporting_table(table_name, attributes, types)
         table = self.server.table(table_name)
         self.server.add_monitor_cost(self.server.costs.persist_row)
+        self.check_fault("lat.persist")
         table.insert([obj.get(a) for a in attributes]
                      + [self.server.clock.now])
 
@@ -490,14 +719,18 @@ class SQLCM:
         return types
 
     def _ensure_reporting_table(self, table_name: str, columns: list[str],
-                                types: list[SQLType]) -> None:
+                                types: list[SQLType],
+                                with_checksum: bool = False) -> None:
         if self.server.catalog.has_table(table_name):
             return
         defs = [ColumnDef(_sanitize(c), t) for c, t in zip(columns, types)]
         defs.append(ColumnDef(self._TIMESTAMP_COLUMN, SQLType.DATETIME))
+        if with_checksum:
+            defs.append(ColumnDef(CHECKSUM_COLUMN, SQLType.INTEGER))
         self.server.create_table(TableSchema(table_name, defs))
 
-    def restore_lat(self, lat_name: str, table_name: str) -> int:
+    def restore_lat(self, lat_name: str, table_name: str,
+                    validate: bool = True) -> int:
         """Upload a persisted table back into a LAT at startup (Section 4.3).
 
         Aggregate states are re-seeded from the persisted values: COUNT and
@@ -505,13 +738,34 @@ class SQLCM:
         COUNT column (otherwise it seeds with count 1); MIN/MAX/FIRST/LAST
         restore their values; STDEV re-seeds from AVG/COUNT (spread within
         the restored window is lost).  Returns restored row count.
+
+        When the table carries checksum metadata (every table written by
+        :meth:`persist_lat`), rows are validated *before* any seeding; a
+        checksum mismatch — a torn write from a crash mid-persist — resets
+        the LAT and raises :class:`PersistCorruptionError`, degrading to
+        "rebuild from scratch" rather than silently restoring corrupt
+        aggregates.  Tables without the checksum column (written by older
+        code or by hand) restore unvalidated.
         """
         lat = self.lat(lat_name)
         table = self.server.table(table_name)
         columns = [c.name.lower() for c in table.schema.columns]
+        rows = [row for __, row in table.scan()]
+        if validate and CHECKSUM_COLUMN in columns:
+            crc_index = columns.index(CHECKSUM_COLUMN)
+            for row in rows:
+                self.server.add_monitor_cost(
+                    self.server.costs.persist_checksum_per_row)
+                if row_checksum(row[:crc_index]) != row[crc_index]:
+                    lat.reset()
+                    raise PersistCorruptionError(
+                        f"checksum mismatch restoring LAT "
+                        f"{lat.definition.name!r} from {table_name!r}: "
+                        f"partial write detected; rebuild from scratch")
         restored = 0
-        for __, row in table.scan():
+        for row in rows:
             values = dict(zip(columns, row))
+            values.pop(CHECKSUM_COLUMN, None)
             lat.seed_row(values)
             restored += 1
         return restored

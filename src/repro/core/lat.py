@@ -197,6 +197,7 @@ class LAT:
         self.eviction_count = 0
         self.latch_acquisitions = 0
         self.peak_rows = 0
+        self.seed_count = 0  # rows re-uploaded by restore_lat
 
     def _resolve_order_indexes(self) -> list[tuple[int, bool]]:
         columns = [c.lower() for c in self.definition.column_names()]
@@ -394,6 +395,7 @@ class LAT:
         row = _Row(key, states, self._seq)
         self._seq += 1
         self._rows[key] = row
+        self.seed_count += 1
         self._enforce_limits(now)
 
     @staticmethod
@@ -413,6 +415,20 @@ class LAT:
             total = value * count  # value here is treated as the mean proxy
             return (count, total, total * value)
         return func.update(func.new_state(), value)  # pragma: no cover
+
+    def integrity_signature(self) -> int:
+        """Order-independent CRC over all rows' current column values.
+
+        Lets the resilience tests assert that two runs with the same fault
+        seed produce bit-identical LAT state without comparing row dicts.
+        """
+        import zlib
+        total = 0
+        now = self._clock.now
+        for row in self._rows.values():
+            values = tuple(self._ordered_values(row, now))
+            total ^= zlib.crc32(repr(values).encode("utf-8"))
+        return total ^ len(self._rows)
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint (drives max_bytes limits)."""

@@ -202,3 +202,17 @@ class ObjectFactory:
         extra = {key.lower(): value for key, value in row_values.items()}
         extra["lat_name"] = lat_name
         return MonitoredObject(cls, {}, extra, source=row_values)
+
+    # -- rule failures (meta-monitoring) -----------------------------------------
+
+    def rule_failure(self, payload: dict[str, Any]) -> MonitoredObject:
+        """Wrap one isolated rule failure (the ``sqlcm.rule_error`` event)."""
+        cls = self._sqlcm.schema.monitored_class("RuleFailure")
+        return MonitoredObject(cls, {}, extra={
+            "rule_name": payload.get("rule"),
+            "site": payload.get("site"),
+            "error": payload.get("error"),
+            "error_count": payload.get("error_count", 0),
+            "quarantined": payload.get("quarantined", False),
+            "current_time": payload.get("time"),
+        }, source=payload)

@@ -230,7 +230,26 @@ EVICTED_ROW_CLASS = MonitoredClassDef(
     [EventDef("Evict", "lat.evict")],
 )
 
+RULE_FAILURE_CLASS = MonitoredClassDef(
+    "RuleFailure",
+    [
+        AttributeDef("Rule_Name", SQLType.STRING, "the rule that failed"),
+        AttributeDef("Site", SQLType.STRING,
+                     "failure site: condition | action | evaluate"),
+        AttributeDef("Error", SQLType.STRING, "error message"),
+        AttributeDef("Error_Count", SQLType.INTEGER,
+                     "total failures of this rule so far"),
+        AttributeDef("Quarantined", SQLType.BOOLEAN,
+                     "did this failure trip the circuit breaker?"),
+        AttributeDef("Current_Time", SQLType.DATETIME,
+                     "virtual time of the failure"),
+    ],
+    [EventDef("Error", "sqlcm.rule_error",
+              "a rule failed inside the isolation boundary "
+              "(meta-monitoring: rules can watch rule failures)")],
+)
+
 SCHEMA = SQLCMSchema([
     QUERY_CLASS, TRANSACTION_CLASS, BLOCKER_CLASS, BLOCKED_CLASS,
-    SESSION_CLASS, TIMER_CLASS, EVICTED_ROW_CLASS,
+    SESSION_CLASS, TIMER_CLASS, EVICTED_ROW_CLASS, RULE_FAILURE_CLASS,
 ])

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.errors import FaultInjected
 from repro.sim.scheduler import Delay
 
 
@@ -68,7 +69,12 @@ class TimerService:
             if timer.generation != generation or not timer.enabled:
                 return
             server.add_monitor_cost(server.costs.timer_fire)
-            self._sqlcm.dispatch_event("timer.alert", {"timer": timer})
+            try:
+                self._sqlcm.check_fault("timer")
+            except FaultInjected:
+                pass  # this alert is lost; the timer itself survives
+            else:
+                self._sqlcm.dispatch_event("timer.alert", {"timer": timer})
             # the alert's rule work executes in this background thread
             yield Delay(server.take_monitor_cost())
             if timer.remaining > 0:

@@ -21,6 +21,10 @@ Event names and payload keys:
 ``session.login``     {"session": Session}
 ``session.logout``    {"session": Session}
 ``timer.alert``       {"timer": TimerObject}
+``sqlcm.rule_error``  {"rule", "site", "error", "error_count",
+                      "quarantined", "time"} — published by SQLCM's
+                      fault-isolation layer when a rule fails inside the
+                      isolation boundary
 ===================== =====================================================
 """
 
@@ -35,7 +39,7 @@ EVENT_NAMES = frozenset({
     "query.rollback", "query.blocked", "query.block_released",
     "txn.begin", "txn.commit", "txn.rollback",
     "session.login", "session.login_failed", "session.logout",
-    "timer.alert",
+    "timer.alert", "sqlcm.rule_error",
 })
 
 

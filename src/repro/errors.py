@@ -90,3 +90,47 @@ class ActionError(SQLCMError):
 
 class LATError(SQLCMError):
     """Invalid LAT definition or operation."""
+
+
+class RuleQuarantinedError(RuleError):
+    """The rule is quarantined by the fault-isolation layer.
+
+    Raised when an operation (e.g. re-enabling) targets a rule that the
+    circuit breaker has taken out of the evaluation path; call
+    ``SQLCM.release_quarantine`` first to clear the quarantine explicitly.
+    """
+
+
+class ActionDeliveryError(ActionError):
+    """A side-effecting action could not be delivered within its retry
+    budget; the action has been recorded in the dead-letter journal.
+
+    ``attempts`` is the number of delivery attempts made; the original
+    failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class FaultInjected(SQLCMError):
+    """A deterministic fault raised by the :class:`FaultInjector` harness.
+
+    ``site`` names the injection point (``condition``, ``action``, ``sink``,
+    ``lat.insert``, ``lat.evict``, ``lat.persist``, ``timer``); ``mode`` is
+    the configured failure mode (``exception`` or ``partial``).
+    """
+
+    def __init__(self, site: str, mode: str = "exception"):
+        super().__init__(f"injected fault at {site!r} (mode={mode})")
+        self.site = site
+        self.mode = mode
+
+
+class PersistCorruptionError(SQLCMError):
+    """A persisted LAT table failed checksum validation during restore.
+
+    The restoring LAT is left empty so the caller rebuilds aggregates from
+    scratch instead of silently continuing from corrupt state.
+    """

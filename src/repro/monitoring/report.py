@@ -59,6 +59,44 @@ def monitoring_configuration(sqlcm) -> str:
     return "\n".join(lines)
 
 
+def rule_health(sqlcm) -> str:
+    """Fault-isolation status: per-rule errors, quarantine, dead letters."""
+    lines = ["RULE HEALTH", ""]
+    if sqlcm.rules:
+        rows = []
+        for r in sqlcm.rules.values():
+            health = sqlcm.health.health_of(r.name)
+            state = health.state
+            if health.quarantined and health.quarantine_reason:
+                state = f"{state} ({health.quarantine_reason})"
+            rows.append((r.name, r.evaluation_count, r.fire_count,
+                         health.error_count, health.quarantine_count, state))
+        lines += _table(
+            ["rule", "evals", "fired", "errors", "quarantines", "state"],
+            rows,
+        )
+    else:
+        lines.append("no rules registered")
+    lines.append("")
+    lines.append(f"rule errors isolated: {sqlcm.rule_errors}")
+    lines.append(f"dead-letter journal depth: {sqlcm.dead_letters.depth}")
+    for entry in sqlcm.dead_letters.entries()[-5:]:
+        lines.append(f"  t={entry.time:.3f}s rule={entry.rule} "
+                     f"{entry.payload} ({entry.attempts} attempts): "
+                     f"{entry.error}")
+    if sqlcm.faults is not None and sqlcm.faults.injected_total():
+        lines.append("")
+        lines += _table(
+            ["fault site", "checks", "injected"],
+            [
+                (site, sqlcm.faults.checks.get(site, 0), count)
+                for site, count in sorted(sqlcm.faults.injected.items())
+                if count
+            ],
+        )
+    return "\n".join(lines)
+
+
 def lat_contents(sqlcm, lat_name: str, limit: int = 20) -> str:
     """One LAT's rows in its declared ordering."""
     lat = sqlcm.lat(lat_name)
@@ -139,6 +177,7 @@ def full_report(server, sqlcm) -> str:
         server_activity(server),
         blocking_health(server, sqlcm),
         monitoring_configuration(sqlcm),
+        rule_health(sqlcm),
     ]
     return ("\n\n" + "=" * 60 + "\n\n").join(sections)
 

@@ -86,6 +86,14 @@ class CostModel:
     runexternal_cost: float = 5e-3
     persist_row: float = 30e-6
 
+    # --- fault isolation (resilience layer) -------------------------------
+    # catching + recording one rule failure; a per-rule quarantine-state
+    # check is a flag read (~1ns); checksums are a CRC over one row
+    rule_error_cost: float = 0.5e-6
+    quarantine_check: float = 0.001e-6
+    dead_letter_append: float = 1e-6
+    persist_checksum_per_row: float = 0.5e-6
+
     # --- baseline monitoring mechanisms (Section 6.2.2) -------------------
     log_write_row_sync: float = 3.0e-3  # synchronous write of one event row
     poll_snapshot_base: float = 2.0e-3  # building + shipping one snapshot
