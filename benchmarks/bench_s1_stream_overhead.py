@@ -1,0 +1,119 @@
+"""S1: overhead of concurrent continuous stream queries (stream extension).
+
+Not a paper experiment — this bench guards the Figure 2 envelope for the
+stream-query subsystem the same way R1 does for the fault-isolation layer:
+N concurrent sliding-window stream queries ride the E2 short-select
+workload's event path, and the added virtual time must stay inside the
+paper's < 4% monitoring budget.
+
+Each stream query groups by a query attribute, keeps two window aggregates
+(AVG + COUNT) over a sliding window, filters with a WHERE condition, and
+carries a HAVING clause that rarely fires — the realistic "armed but
+quiet" monitoring configuration.  A second assertion checks the windows
+are maintained *incrementally* by operation count: per-event work is one
+state update per aggregate, and emission work is pane merges bounded by
+panes-per-window — never a rescan of the events in the window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_server, quick, run_workload
+from repro import SQLCM
+
+SHORT_QUERIES = quick(300, 120)
+N_STREAMS = quick(20, 8)
+WINDOW_LEN = 10.0
+WINDOW_HOP = 1.0
+
+_GROUPERS = ["Query.User AS G", "Query.Application AS G",
+             "Query.Query_Type AS G", "Query.Rows_Affected AS G"]
+
+
+def _install_streams(sqlcm: SQLCM, n: int) -> list:
+    streams = sqlcm.stream_engine()
+    queries = []
+    for i in range(n):
+        group = _GROUPERS[i % len(_GROUPERS)]
+        queries.append(streams.register(
+            f"STREAM s1_{i} FROM Query.Commit "
+            f"WHERE Query.Duration >= 0 "
+            f"GROUP BY {group} "
+            f"WINDOW SLIDING({WINDOW_LEN:g}, {WINDOW_HOP:g}) "
+            f"AGG AVG(Query.Duration) AS Avg_D, COUNT(*) AS N "
+            f"HAVING Window.Avg_D > 3600"))  # armed but effectively quiet
+    return queries
+
+
+def _elapsed(n_streams: int):
+    server, counts = build_server(track_completed=False)
+    sqlcm = SQLCM(server)
+    queries = _install_streams(sqlcm, n_streams) if n_streams else []
+    elapsed = run_workload(server, counts, short=SHORT_QUERIES, joins=0)
+    sqlcm.stream_engine().flush()
+    return elapsed, queries
+
+
+def test_s1_stream_overhead(report, benchmark):
+    results: dict[int, float] = {}
+    sampled: list = []
+
+    def run_all():
+        base, __ = _elapsed(0)
+        for n in (N_STREAMS // 2, N_STREAMS):
+            elapsed, queries = _elapsed(n)
+            results[n] = 100.0 * (elapsed - base) / base
+            if n == N_STREAMS:
+                sampled.extend(queries)
+        return base
+
+    base = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"S1: stream-query subsystem overhead on the E2 short-select "
+        f"workload",
+        f"baseline: {SHORT_QUERIES} short selects in {base:.3f}s virtual",
+    ]
+    for n, overhead in sorted(results.items()):
+        lines.append(
+            f"{n:>3} sliding-window stream queries "
+            f"({WINDOW_LEN:g}s/{WINDOW_HOP:g}s, AVG+COUNT, WHERE+HAVING): "
+            f"{overhead:.2f}%")
+    lines.append("paper envelope (Figure 2): < 4%")
+    report(*lines)
+
+    # every stream saw the whole workload and emitted windows
+    assert all(q.events_ingested == SHORT_QUERIES for q in sampled)
+    assert all(q.windows_emitted > 0 for q in sampled)
+    # the headline claim: full stream fleet inside the Figure 2 envelope
+    assert results[N_STREAMS] < 4.0
+
+    # incrementality, by operation count (not wall-clock): per-event work
+    # is exactly one state update per aggregate...
+    n_aggs = 2
+    for q in sampled:
+        assert q.window.update_ops == SHORT_QUERIES * n_aggs
+    # ...and per-emission merge work is bounded by panes-per-window, never
+    # by the number of events inside the window
+    panes = int(WINDOW_LEN / WINDOW_HOP)
+    for q in sampled:
+        emissions = q.windows_emitted * max(1, q.window.group_count)
+        assert q.window.combine_ops <= emissions * (panes - 1) * n_aggs
+
+
+def test_s1_stream_ingest_wall_time(benchmark):
+    """Wall time of one short select with 20 stream queries attached."""
+    server, counts = build_server(track_completed=False)
+    sqlcm = SQLCM(server)
+    _install_streams(sqlcm, N_STREAMS)
+    session = server.create_session()
+    session.execute("SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+
+    def one_query():
+        session.execute(
+            "SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
+
+    benchmark(one_query)
+    assert all(q.events_ingested > 0
+               for q in sqlcm.stream_engine().queries())

@@ -27,6 +27,30 @@ from repro.workloads.tpch import setup_tpch
 #: TPC-H scale for benchmarks: 12k lineitem (paper: 6M)
 BENCH_TPCH = TPCHConfig().scaled(0.2)
 
+#: set by ``--quick`` (CI smoke runs): bench modules shrink their grids
+#: via :func:`quick` so every figure still exercises its code path in
+#: seconds instead of minutes.  Overhead *assertions* stay active either
+#: way — only grid extents and repetition counts shrink.
+QUICK = False
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink benchmark grids to smoke-test size (CI)")
+
+
+def pytest_configure(config):
+    global QUICK
+    QUICK = config.getoption("--quick", default=False)
+
+
+def quick(full, small):
+    """Pick the smoke-test value under ``--quick``, the full value
+    otherwise.  Usable at bench-module import time: pytest loads this
+    conftest (and runs ``pytest_configure``) before collecting modules."""
+    return small if QUICK else full
+
 
 def figure3_cost_model() -> CostModel:
     """Cost model for E3: join queries last ~1s (as multi-second queries

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Continuous stream queries closing the loop with ECA rules.
+
+A storefront runs a steady mix of point lookups; partway through, one
+application starts issuing a much heavier scan.  A single continuous
+query watches per-application average latency over a sliding window and
+raises a ``sqlcm.stream_alert`` whenever a window crosses the threshold;
+an ordinary ECA rule subscribed to ``StreamAlert.Alert`` turns each alert
+into a DBA mail — stream queries detect, rules react.
+
+Run:  python examples/stream_alerts.py
+"""
+
+from repro import DatabaseServer, Rule, SQLCM, SendMailAction, Statement
+from repro.monitoring.report import stream_activity
+
+
+def main() -> None:
+    server = DatabaseServer()
+    server.execute_ddl(
+        "CREATE TABLE orders (id INT NOT NULL PRIMARY KEY, "
+        "customer INT, total FLOAT)")
+    loader = server.create_session()
+    loader.execute("INSERT INTO orders VALUES " + ", ".join(
+        f"({i}, {i % 97}, {(i * 7) % 500 + 1.0})" for i in range(1, 2001)))
+
+    sqlcm = SQLCM(server)
+    streams = sqlcm.stream_engine()
+
+    # the continuous query: per-application average latency, 10-second
+    # window sliding every 2 seconds, alert when a window's average
+    # crosses 20 ms with at least 3 statements in it
+    monitor = streams.register(
+        "STREAM slow_apps FROM Query.Commit "
+        "GROUP BY Query.Application AS App "
+        "WINDOW SLIDING(10, 2) "
+        "AGG AVG(Query.Duration) AS Avg_D, COUNT(*) AS N "
+        "HAVING Window.Avg_D > 0.02 AND Window.N >= 3")
+
+    # the reacting rule: every alert becomes a DBA mail
+    sqlcm.add_rule(Rule(
+        name="page_dba",
+        event="StreamAlert.Alert",
+        condition="StreamAlert.Stream_Name = 'slow_apps'",
+        actions=[SendMailAction(
+            "stream {StreamAlert.Stream_Name}: {StreamAlert.Group_Key} "
+            "{StreamAlert.Aggregate}={StreamAlert.Value} in window ending "
+            "{StreamAlert.Window_End}", "dba@example.com")],
+    ))
+
+    # steady storefront traffic: cheap point lookups from two apps
+    for app in ("web", "mobile"):
+        session = server.create_session(user="shop", application=app)
+        session.submit_script([
+            Statement(f"SELECT total FROM orders WHERE id = {1 + i * 13 % 2000}",
+                      think_time=0.4)
+            for i in range(100)
+        ])
+
+    # twenty seconds in, the reporting app starts running heavy scans
+    reports = server.create_session(user="analyst", application="reports")
+    script = [Statement("SELECT id FROM orders WHERE id = 1",
+                        think_time=20.0)]
+    script += [
+        Statement("SELECT a.customer, SUM(b.total) FROM orders a "
+                  "JOIN orders b ON a.customer = b.customer "
+                  "WHERE a.id < 50 GROUP BY a.customer", think_time=1.0)
+        for __ in range(15)
+    ]
+    reports.submit_script(script)
+
+    server.run(until=45.0)
+    streams.flush()
+
+    print(stream_activity(sqlcm))
+    print()
+    print(f"mails sent to the DBA: {len(sqlcm.outbox)}")
+    for mail in sqlcm.outbox[:3]:
+        print(f"  {mail.body}")
+    flagged = {alert["group"] for alert in monitor.alerts}
+    print(f"applications flagged: {sorted(flagged)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ Each class wires up the LATs and ECA rules for one DBA task:
 
 from repro.apps.auditing import LoginAuditor, UsageAuditor
 from repro.apps.blocking import BlockingAnalyzer
-from repro.apps.outliers import OutlierDetector
+from repro.apps.outliers import OutlierDetector, StreamOutlierDetector
 from repro.apps.resource_governor import (AdaptiveMPLGovernor,
                                           ResourceGovernor)
 from repro.apps.stats_corrector import StatsCorrector
@@ -23,6 +23,7 @@ from repro.apps.topk import TopKTracker
 
 __all__ = [
     "OutlierDetector",
+    "StreamOutlierDetector",
     "BlockingAnalyzer",
     "TopKTracker",
     "UsageAuditor",

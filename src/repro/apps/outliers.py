@@ -82,3 +82,49 @@ class OutlierDetector:
         self.sqlcm.remove_rule(self.outlier_rule.name)
         self.sqlcm.remove_rule(self.track_rule.name)
         self.sqlcm.drop_lat(self.lat_name)
+
+
+class StreamOutlierDetector:
+    """Stream-query variant of :class:`OutlierDetector`.
+
+    Instead of an ECA rule comparing each instance against a LAT average,
+    one continuous query keeps a sliding per-signature window of average
+    durations and flags windows deviating more than ``k`` standard
+    deviations from the signature's moving baseline:
+
+        STREAM <name>
+        FROM Query.Commit
+        GROUP BY Query.Logical_Signature AS Sig
+        WINDOW SLIDING(length, hop)
+        AGG AVG(Query.Duration) AS Avg_D, COUNT(*) AS Instances
+        ANOMALY DEVIATION(Avg_D, k, history)
+
+    The two detectors look for the same phenomenon with complementary
+    granularity: the rule flags individual slow *instances*, the stream
+    flags windows whose *average* shifted — a sustained slowdown fires the
+    stream even when no single instance crosses the rule's factor.
+    """
+
+    def __init__(self, sqlcm: SQLCM, *, k: float = 3.0,
+                 window: float = 10.0, hop: float = 1.0,
+                 history: int = 8, name: str = "duration_outliers"):
+        self.sqlcm = sqlcm
+        self.name = name
+        self.query = sqlcm.stream_engine().register(
+            f"STREAM {name} FROM Query.Commit "
+            f"GROUP BY Query.Logical_Signature AS Sig "
+            f"WINDOW SLIDING({window:g}, {hop:g}) "
+            f"AGG AVG(Query.Duration) AS Avg_D, COUNT(*) AS Instances "
+            f"ANOMALY DEVIATION(Avg_D, {k:g}, {history})")
+
+    def outliers(self) -> list[dict]:
+        """Deviation alerts so far (drains trailing windows first)."""
+        self.sqlcm.stream_engine().flush()
+        return list(self.query.alerts)
+
+    def outlier_signatures(self) -> set:
+        """The distinct flagged group keys (logical signatures)."""
+        return {alert["key"][0] for alert in self.outliers()}
+
+    def remove(self) -> None:
+        self.sqlcm.stream_engine().remove(self.name)

@@ -14,6 +14,11 @@ Besides SQL, the shell understands monitoring meta-commands:
 ``.rules``             list rules with fire/error/quarantine statistics
 ``.monitor topk K``    install a top-K-expensive-queries tracker
 ``.monitor outliers``  install the Example 1 outlier detector
+``.monitor deviation`` install the stream-query outlier detector
+``.stream TEXT``       register a continuous stream query (FROM ... WINDOW
+                       ... AGG ...); see DESIGN.md Section 7 for the grammar
+``.streams``           list stream queries with window/alert statistics
+``.alerts [NAME]``     recent stream alerts (all streams, or one by name)
 ``.queries``           recently completed queries (id, duration, text)
 ``.outbox``            SendMail deliveries
 ``.deadletters``       side-effect actions that exhausted their retries
@@ -30,7 +35,7 @@ import sys
 from typing import IO
 
 from repro import DatabaseServer, ServerConfig, SQLCM
-from repro.apps import OutlierDetector, TopKTracker
+from repro.apps import OutlierDetector, StreamOutlierDetector, TopKTracker
 from repro.errors import ReproError
 
 
@@ -123,6 +128,60 @@ class Shell:
                             f"{self.sqlcm.dead_letters.depth}")
         elif command == ".monitor" and len(parts) > 1:
             self._install_monitor(parts[1:])
+        elif command == ".stream" and len(parts) > 1:
+            text = line[len(".stream"):].strip()
+            try:
+                query = self.sqlcm.stream_engine().register(text)
+            except ReproError as err:
+                self._print(f"error: {err}")
+                return
+            self._print(f"stream {query.spec.name!r} registered on "
+                        f"{query.spec.event_spec}")
+        elif command == ".streams":
+            streams = self.sqlcm.stream_engine()
+            streams.flush()
+            for query in streams.queries():
+                info = query.describe()
+                health = streams.health.health_of(info["name"])
+                state = "quarantined" if health.quarantined else (
+                    "on" if query.enabled else "off")
+                self._print(
+                    f"  [{state}] {info['name']} ON {info['event']} "
+                    f"{info['window']}: {info['ingested']} events, "
+                    f"{info['groups']} groups, {info['windows']} windows, "
+                    f"{info['alerts']} alerts"
+                    + (f", {info['errors']} errors" if info["errors"]
+                       else ""))
+            if not streams.queries():
+                self._print("  (no stream queries)")
+        elif command == ".alerts":
+            streams = self.sqlcm.stream_engine()
+            streams.flush()
+            queries = streams.queries()
+            if len(parts) > 1:
+                try:
+                    queries = [streams.query(parts[1])]
+                except ReproError as err:
+                    self._print(f"error: {err}")
+                    return
+            shown = 0
+            for query in queries:
+                for alert in list(query.alerts)[-10:]:
+                    extra = ""
+                    if alert["kind"] == "deviation":
+                        extra = (f" baseline={_fmt(alert['baseline'])}"
+                                 f" sigma={_fmt(alert['sigma'])}")
+                    elif alert["kind"] == "topk":
+                        extra = f" rank={alert['rank']}"
+                    self._print(
+                        f"  [{alert['stream']}] {alert['kind']} "
+                        f"group={_fmt(alert['group'])} "
+                        f"{alert['column']}={_fmt(alert['value'])} "
+                        f"window=[{alert['window_start']:.0f}s,"
+                        f"{alert['window_end']:.0f}s)" + extra)
+                    shown += 1
+            if not shown:
+                self._print("  (no alerts)")
         elif command == ".queries":
             for qctx in self.server.completed_queries[-10:]:
                 duration = qctx.duration_at(self.server.clock.now)
@@ -165,9 +224,14 @@ class Shell:
                 self._trackers["outliers"] = OutlierDetector(self.sqlcm)
                 self._print("outlier detection installed "
                             "(.lat Duration_LAT to view)")
+            elif kind == "deviation":
+                self._trackers["deviation"] = \
+                    StreamOutlierDetector(self.sqlcm)
+                self._print("stream deviation detection installed "
+                            "(.alerts duration_outliers to view)")
             else:
                 self._print(f"unknown monitor {kind!r} "
-                            "(try: topk, outliers)")
+                            "(try: topk, outliers, deviation)")
         except ReproError as err:
             self._print(f"error: {err}")
 

@@ -140,7 +140,15 @@ class MaxAgg(AggregateFunction):
 
 
 class StdevAgg(AggregateFunction):
-    """Sample standard deviation via (count, sum, sum-of-squares)."""
+    """Sample standard deviation, single-pass and mergeable.
+
+    State is Welford's ``(count, mean, M2)`` — M2 is the sum of squared
+    deviations from the running mean — merged pairwise with Chan's
+    parallel-variance formula.  Unlike the naive (count, sum, sum-of-
+    squares) state this does not catastrophically cancel when the values
+    share a large common offset, which matters for window panes merged
+    out of the stream subsystem.
+    """
 
     name = "STDEV"
 
@@ -150,18 +158,30 @@ class StdevAgg(AggregateFunction):
     def update(self, state, value):
         if value is None:
             return state
-        count, total, sumsq = state
-        return (count + 1, total + value, sumsq + value * value)
+        count, mean, m2 = state
+        count += 1
+        delta = value - mean
+        mean += delta / count
+        return (count, mean, m2 + delta * (value - mean))
 
     def combine(self, left, right):
-        return (left[0] + right[0], left[1] + right[1], left[2] + right[2])
+        n_left, mean_left, m2_left = left
+        n_right, mean_right, m2_right = right
+        if n_left == 0:
+            return right
+        if n_right == 0:
+            return left
+        count = n_left + n_right
+        delta = mean_right - mean_left
+        mean = mean_left + delta * n_right / count
+        m2 = m2_left + m2_right + delta * delta * n_left * n_right / count
+        return (count, mean, m2)
 
     def result(self, state):
-        count, total, sumsq = state
+        count, __, m2 = state
         if count < 2:
             return None
-        variance = (sumsq - total * total / count) / (count - 1)
-        return math.sqrt(max(0.0, variance))
+        return math.sqrt(max(0.0, m2 / (count - 1)))
 
 
 class FirstAgg(AggregateFunction):

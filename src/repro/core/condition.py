@@ -318,6 +318,46 @@ def bind_condition(text: str, schema, lat_names: set[str],
     return CompiledCondition(text, bound, classes, lats, atomic)
 
 
+def bind_row_condition(text: str, columns: set[str],
+                       qualifier: str = "window") -> CompiledCondition:
+    """Bind a condition whose references all read one plain result row.
+
+    Used by the stream subsystem's HAVING clauses: every reference must be
+    ``Qualifier.Column`` with ``Column`` in ``columns`` (case-insensitive).
+    Evaluate with ``cond.evaluate({}, {qualifier: row})``; a missing row
+    makes the condition false, matching the LAT ∃-semantics.
+    """
+    tree = parse_condition(text)
+    key = qualifier.lower()
+    lowered = {c.lower() for c in columns}
+    atomic = 0
+
+    def walk(node) -> None:
+        nonlocal atomic
+        if isinstance(node, CBinary):
+            if node.op in ("=", "!=", "<", ">", "<=", ">="):
+                atomic += 1
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, CUnary):
+            walk(node.operand)
+        elif isinstance(node, CAttrRef):
+            if node.qualifier.lower() != key:
+                raise SchemaError(
+                    f"row condition references must be "
+                    f"{qualifier}.<column>, got {node.qualifier!r}"
+                )
+            if node.attribute.lower() not in lowered:
+                raise SchemaError(
+                    f"unknown output column {node.attribute!r}; "
+                    f"expected one of {sorted(lowered)}"
+                )
+
+    walk(tree)
+    bound = _bind_refs(tree, {key})
+    return CompiledCondition(text, bound, set(), {key}, atomic)
+
+
 @dataclass(frozen=True)
 class _BoundClassAttr:
     class_name: str  # lowercase

@@ -85,11 +85,15 @@ class SQLCM:
         self.dead_letters = DeadLetterJournal()
         self.faults = faults
         self.rule_errors = 0
+        # the continuous stream-query subsystem is created lazily (pay only
+        # for what you monitor); see stream_engine()
+        self._streams = None
         for event in ("query.start", "query.commit", "query.cancel",
                       "query.rollback", "query.blocked",
                       "query.block_released", "txn.begin", "txn.commit",
                       "txn.rollback", "session.login",
-                      "session.login_failed", "session.logout"):
+                      "session.login_failed", "session.logout",
+                      "sqlcm.stream_alert"):
             server.events.subscribe(event, self._on_engine_event)
         server.events.subscribe("query.compile", self._on_compile)
 
@@ -218,6 +222,28 @@ class SQLCM:
         """Arm a timer (the Set action, also usable directly)."""
         return self.timer_service.set(name, interval, repeats)
 
+    # ------------------------------------------------------------------
+    # continuous stream queries
+    # ------------------------------------------------------------------
+
+    def stream_engine(self):
+        """The continuous stream-query engine, created on first use.
+
+        Stream queries subscribe to the same event-bus hook points as the
+        rule engine, maintain incremental window aggregates, and close the
+        loop by publishing ``sqlcm.stream_alert`` events that ECA rules
+        (event ``StreamAlert.Alert``) can consume.
+        """
+        if self._streams is None:
+            from repro.stream import StreamEngine
+            self._streams = StreamEngine(self)
+        return self._streams
+
+    @property
+    def has_streams(self) -> bool:
+        """True once the stream engine exists and has registered queries."""
+        return self._streams is not None and bool(self._streams.queries())
+
     def enable_signatures(self, enabled: bool = True) -> None:
         """Force signature computation even with no referencing rule."""
         self._signatures_forced = enabled
@@ -229,6 +255,8 @@ class SQLCM:
     @property
     def signatures_needed(self) -> bool:
         if self._signatures_forced:
+            return True
+        if self._streams is not None and self._streams.signatures_needed:
             return True
         for lat in self._lats.values():
             attrs = {a.lower() for a in lat.definition.source_attributes()}
@@ -399,6 +427,8 @@ class SQLCM:
                                                    payload["row"])}
         if event == "sqlcm.rule_error":
             return {"rulefailure": factory.rule_failure(payload)}
+        if event == "sqlcm.stream_alert":
+            return {"streamalert": factory.stream_alert(payload)}
         return {}
 
     def _iterate_class(self, class_name: str) -> list[MonitoredObject]:

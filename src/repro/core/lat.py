@@ -412,8 +412,8 @@ class LAT:
         if func_name == "AVG":
             return (count, value * count)
         if func_name == "STDEV":
-            total = value * count  # value here is treated as the mean proxy
-            return (count, total, total * value)
+            # value is treated as the mean proxy; spread (M2) is lost
+            return (count, value, 0.0)
         return func.update(func.new_state(), value)  # pragma: no cover
 
     def integrity_signature(self) -> int:

@@ -203,6 +203,25 @@ class ObjectFactory:
         extra["lat_name"] = lat_name
         return MonitoredObject(cls, {}, extra, source=row_values)
 
+    # -- stream alerts (continuous-query output) ----------------------------------
+
+    def stream_alert(self, payload: dict[str, Any]) -> MonitoredObject:
+        """Wrap one stream-query alert (the ``sqlcm.stream_alert`` event)."""
+        cls = self._sqlcm.schema.monitored_class("StreamAlert")
+        return MonitoredObject(cls, {}, extra={
+            "stream_name": payload.get("stream"),
+            "kind": payload.get("kind"),
+            "group_key": payload.get("group"),
+            "aggregate": payload.get("column"),
+            "value": payload.get("value"),
+            "baseline": payload.get("baseline"),
+            "sigma": payload.get("sigma"),
+            "rank": payload.get("rank"),
+            "window_start": payload.get("window_start"),
+            "window_end": payload.get("window_end"),
+            "current_time": payload.get("time"),
+        }, source=payload)
+
     # -- rule failures (meta-monitoring) -----------------------------------------
 
     def rule_failure(self, payload: dict[str, Any]) -> MonitoredObject:

@@ -39,7 +39,9 @@ HEALTHY = "healthy"
 QUARANTINED = "quarantined"
 PROBATION = "probation"
 
-#: injection sites understood by the engine wiring
+#: core injection sites wired by the rule engine itself; subsystems add
+#: their own with :func:`register_fault_sites` (e.g. the stream engine's
+#: ``stream.eval`` / ``stream.window``)
 FAULT_SITES = (
     "condition",     # rule condition evaluation (incl. LAT lookups)
     "action",        # action execution (any action kind)
@@ -50,7 +52,30 @@ FAULT_SITES = (
     "timer",         # timer alert firing
 )
 
+_registered_sites: set[str] = set(FAULT_SITES)
+
 _FAULT_MODES = ("exception", "latency", "partial")
+
+
+def register_fault_sites(*sites: str) -> None:
+    """Declare additional injection sites (idempotent).
+
+    Subsystems call this at init time so the injector can validate their
+    site names without the core site list having to know every subsystem.
+    Site names are dotted identifiers, e.g. ``stream.eval``.
+    """
+    for site in sites:
+        if not site or not all(
+            part and part.replace("_", "").isalnum()
+            for part in site.split(".")
+        ):
+            raise ValueError(f"invalid fault site name {site!r}")
+        _registered_sites.add(site)
+
+
+def known_fault_sites() -> tuple[str, ...]:
+    """All currently registered injection sites (core + subsystem)."""
+    return tuple(sorted(_registered_sites))
 
 
 # ---------------------------------------------------------------------------
@@ -351,9 +376,10 @@ class FaultInjector:
     def arm(self, site: str, rate: float = 0.1, mode: str = "exception",
             latency: float = 1e-3) -> FaultSpec:
         """Configure an injection site; replaces any previous spec."""
-        if site not in FAULT_SITES:
+        if site not in _registered_sites:
             raise ValueError(
-                f"unknown fault site {site!r}; expected one of {FAULT_SITES}")
+                f"unknown fault site {site!r}; expected one of "
+                f"{known_fault_sites()}")
         spec = FaultSpec(rate=rate, mode=mode, latency=latency)
         self._specs[site] = spec
         # per-site stream: arming/checking one site does not perturb others
@@ -372,7 +398,7 @@ class FaultInjector:
     def fail_next(self, site: str, count: int = 1,
                   mode: str = "exception") -> None:
         """Deterministically inject the next ``count`` checks at ``site``."""
-        if site not in FAULT_SITES:
+        if site not in _registered_sites:
             raise ValueError(f"unknown fault site {site!r}")
         self._bursts[site] = self._bursts.get(site, 0) + count
         self._specs.setdefault(site, FaultSpec(rate=0.0, mode=mode))

@@ -249,7 +249,40 @@ RULE_FAILURE_CLASS = MonitoredClassDef(
               "(meta-monitoring: rules can watch rule failures)")],
 )
 
+STREAM_ALERT_CLASS = MonitoredClassDef(
+    "StreamAlert",
+    [
+        AttributeDef("Stream_Name", SQLType.STRING,
+                     "the stream query that emitted the alert"),
+        AttributeDef("Kind", SQLType.STRING,
+                     "window | having | deviation | topk"),
+        AttributeDef("Group_Key", SQLType.STRING,
+                     "rendered GROUP BY key of the window row"),
+        AttributeDef("Aggregate", SQLType.STRING,
+                     "output column that triggered the alert"),
+        AttributeDef("Value", SQLType.FLOAT,
+                     "value of that column in the alerting window"),
+        AttributeDef("Baseline", SQLType.FLOAT,
+                     "moving average of past windows (deviation alerts)"),
+        AttributeDef("Sigma", SQLType.FLOAT,
+                     "standard deviation of past windows (deviation "
+                     "alerts)"),
+        AttributeDef("Rank", SQLType.INTEGER,
+                     "1-based rank within the window (top-k alerts)"),
+        AttributeDef("Window_Start", SQLType.DATETIME,
+                     "virtual start of the alerting window"),
+        AttributeDef("Window_End", SQLType.DATETIME,
+                     "virtual end of the alerting window"),
+        AttributeDef("Current_Time", SQLType.DATETIME,
+                     "virtual time of emission"),
+    ],
+    [EventDef("Alert", "sqlcm.stream_alert",
+              "a stream query emitted a window result or anomaly "
+              "(ECA rules can close the loop on stream output)")],
+)
+
 SCHEMA = SQLCMSchema([
     QUERY_CLASS, TRANSACTION_CLASS, BLOCKER_CLASS, BLOCKED_CLASS,
     SESSION_CLASS, TIMER_CLASS, EVICTED_ROW_CLASS, RULE_FAILURE_CLASS,
+    STREAM_ALERT_CLASS,
 ])

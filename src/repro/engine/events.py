@@ -25,6 +25,11 @@ Event names and payload keys:
                       "quarantined", "time"} — published by SQLCM's
                       fault-isolation layer when a rule fails inside the
                       isolation boundary
+``sqlcm.stream_alert`` {"stream", "kind", "group", "column", "value",
+                      "baseline", "sigma", "rank", "window_start",
+                      "window_end", "time", "row"} — published by the
+                      stream-query engine when a window result passes a
+                      HAVING clause or trips an anomaly operator
 ===================== =====================================================
 """
 
@@ -39,7 +44,7 @@ EVENT_NAMES = frozenset({
     "query.rollback", "query.blocked", "query.block_released",
     "txn.begin", "txn.commit", "txn.rollback",
     "session.login", "session.login_failed", "session.logout",
-    "timer.alert", "sqlcm.rule_error",
+    "timer.alert", "sqlcm.rule_error", "sqlcm.stream_alert",
 })
 
 

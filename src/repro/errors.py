@@ -92,6 +92,18 @@ class LATError(SQLCMError):
     """Invalid LAT definition or operation."""
 
 
+class StreamError(SQLCMError):
+    """Invalid stream-query definition or operation."""
+
+
+class StreamSyntaxError(StreamError):
+    """The stream-query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
 class RuleQuarantinedError(RuleError):
     """The rule is quarantined by the fault-isolation layer.
 

@@ -97,6 +97,49 @@ def rule_health(sqlcm) -> str:
     return "\n".join(lines)
 
 
+def stream_activity(sqlcm, alert_limit: int = 5) -> str:
+    """Continuous stream queries: window stats, health, recent alerts."""
+    streams = sqlcm.stream_engine()
+    streams.flush()
+    lines = ["STREAMS", ""]
+    queries = streams.queries()
+    if not queries:
+        lines.append("no stream queries registered")
+        return "\n".join(lines)
+    rows = []
+    for query in queries:
+        health = streams.health.health_of(query.spec.name)
+        state = health.state if health.error_count or health.quarantined \
+            else ("enabled" if query.enabled else "disabled")
+        rows.append((query.spec.name, query.spec.event_spec,
+                     query.describe()["window"], query.window.group_count,
+                     query.events_ingested, query.windows_emitted,
+                     query.alert_count, query.errors, state))
+    lines += _table(
+        ["stream", "event", "window", "groups", "events", "windows",
+         "alerts", "errors", "state"],
+        rows,
+    )
+    recent = []
+    for query in queries:
+        for alert in list(query.alerts)[-alert_limit:]:
+            recent.append((alert["time"], query.spec.name, alert))
+    recent.sort(key=lambda entry: entry[0])
+    if recent:
+        lines.append("")
+        lines += _table(
+            ["time", "stream", "kind", "group", "column", "value",
+             "window"],
+            [
+                (f"{t:.1f}s", name, a["kind"], _short(a["group"], 20),
+                 a["column"], _short(a["value"]),
+                 f"[{a['window_start']:.0f},{a['window_end']:.0f})")
+                for t, name, a in recent[-alert_limit * 2:]
+            ],
+        )
+    return "\n".join(lines)
+
+
 def lat_contents(sqlcm, lat_name: str, limit: int = 20) -> str:
     """One LAT's rows in its declared ordering."""
     lat = sqlcm.lat(lat_name)
@@ -179,6 +222,8 @@ def full_report(server, sqlcm) -> str:
         monitoring_configuration(sqlcm),
         rule_health(sqlcm),
     ]
+    if sqlcm.has_streams:
+        sections.append(stream_activity(sqlcm))
     return ("\n\n" + "=" * 60 + "\n\n").join(sections)
 
 

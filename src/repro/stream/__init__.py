@@ -1,0 +1,31 @@
+"""Continuous stream-query subsystem over the SQLCM event bus.
+
+Declarative windowed queries (``FROM ... WHERE ... GROUP BY ... WINDOW ...
+AGG ... HAVING ... ANOMALY ...``) evaluated incrementally in the monitored
+events' execution path; see DESIGN.md Section 7.
+"""
+
+from repro.stream.anomaly import (Deviation, DeviationOperator,
+                                  DeviationSpec, TopKOperator, TopKSpec)
+from repro.stream.engine import (STREAM_FAULT_SITES, StreamEngine,
+                                 StreamQuery)
+from repro.stream.language import (AggSpec, GroupSpec, StreamSpec,
+                                   parse_stream_query)
+from repro.stream.windows import WindowSpec, WindowState
+
+__all__ = [
+    "AggSpec",
+    "Deviation",
+    "DeviationOperator",
+    "DeviationSpec",
+    "GroupSpec",
+    "STREAM_FAULT_SITES",
+    "StreamEngine",
+    "StreamQuery",
+    "StreamSpec",
+    "TopKOperator",
+    "TopKSpec",
+    "WindowSpec",
+    "WindowState",
+    "parse_stream_query",
+]

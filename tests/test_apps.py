@@ -4,7 +4,7 @@ import pytest
 
 from repro import DatabaseServer, ServerConfig, SQLCM, Statement
 from repro.apps import (BlockingAnalyzer, OutlierDetector, ResourceGovernor,
-                        TopKTracker, UsageAuditor)
+                        StreamOutlierDetector, TopKTracker, UsageAuditor)
 from repro.workloads import register_order_procedures
 from repro.workloads.tpch import TPCHConfig, setup_tpch
 
@@ -204,3 +204,67 @@ class TestResourceGovernor:
         result = session.execute(
             "SELECT o_totalprice FROM orders WHERE o_orderkey = 1")
         assert result.ok
+
+
+class TestStreamOutlierDetector:
+    """The rule-based and stream-based outlier detectors, side by side,
+    must flag the same injected slowdown — and nothing else."""
+
+    SIG_A = b"\x0a" * 8  # the template that will misbehave
+    SIG_B = b"\x0b" * 8  # a well-behaved control template
+
+    @staticmethod
+    def _commit(server, ids, t, duration, sig, user):
+        from repro.engine.query import QueryContext
+        server.clock.advance_to(t)
+        qctx = QueryContext(
+            query_id=next(ids), session_id=1, text=f"SELECT /*{user}*/ 1",
+            user=user, application="app", start_time=t - duration,
+            end_time=t, logical_signature=sig, rows_affected=0)
+        server.events.publish("query.commit", {"query": qctx})
+
+    def test_both_detectors_flag_the_same_injected_outliers(self):
+        import itertools
+        server = DatabaseServer(ServerConfig(track_completed_queries=False))
+        sqlcm = SQLCM(server)
+        rule_based = OutlierDetector(sqlcm, factor=5.0, min_instances=3)
+        stream_based = StreamOutlierDetector(
+            sqlcm, k=3.0, window=4.0, hop=1.0, history=8)
+        ids = itertools.count(1)
+
+        # a steady baseline for both templates: ~10ms every second each
+        t = 0.5
+        while t < 30.0:
+            self._commit(server, ids, t, 0.010, self.SIG_A, "alice")
+            self._commit(server, ids, t + 0.4, 0.010, self.SIG_B, "bob")
+            t += 1.0
+        assert rule_based.outliers() == []
+        assert stream_based.outliers() == []
+
+        # inject a sustained slowdown of template A only
+        while t < 36.0:
+            self._commit(server, ids, t, 0.250, self.SIG_A, "alice")
+            self._commit(server, ids, t + 0.4, 0.010, self.SIG_B, "bob")
+            t += 1.0
+
+        # the rule flagged individual slow instances — all of template A
+        rule_rows = rule_based.outliers()
+        assert rule_rows
+        assert {row["User"] for row in rule_rows} == {"alice"}
+        assert all(row["Duration"] == pytest.approx(0.250)
+                   for row in rule_rows)
+
+        # the stream flagged deviating windows — the same single template
+        assert stream_based.outlier_signatures() == {self.SIG_A}
+        flagged = stream_based.outliers()
+        assert all(alert["kind"] == "deviation" for alert in flagged)
+        assert all(alert["baseline"] == pytest.approx(0.010, abs=1e-3)
+                   for alert in flagged)
+
+    def test_remove_tears_down_stream(self):
+        server = DatabaseServer(ServerConfig(track_completed_queries=False))
+        sqlcm = SQLCM(server)
+        detector = StreamOutlierDetector(sqlcm)
+        assert sqlcm.has_streams
+        detector.remove()
+        assert not sqlcm.has_streams
