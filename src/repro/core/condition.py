@@ -240,17 +240,21 @@ class CompiledCondition:
 
     ``classes`` — monitored classes referenced (objects must be in context);
     ``lats`` — LAT names referenced; ``atomic_count`` — number of comparison
-    operators (the unit of the paper's rule-complexity experiments).
+    operators (the unit of the paper's rule-complexity experiments);
+    ``attributes`` — lowercase class-attribute names the condition reads
+    (bound references only, not LAT columns or literals — this is what
+    ``signatures_needed`` consults instead of scanning the raw text).
     """
 
     def __init__(self, text: str, tree, classes: set[str], lats: set[str],
-                 atomic_count: int):
+                 atomic_count: int, attributes: set[str] | None = None):
         self.text = text
         self._tree = tree
         self._fn = _compile(tree)
         self.classes = classes
         self.lats = lats
         self.atomic_count = atomic_count
+        self.attributes = attributes if attributes is not None else set()
 
     def evaluate(self, context: dict[str, Any],
                  lat_rows: dict[str, dict | None]) -> bool:
@@ -277,6 +281,7 @@ def bind_condition(text: str, schema, lat_names: set[str],
     tree = parse_condition(text)
     classes: set[str] = set()
     lats: set[str] = set()
+    attributes: set[str] = set()
     atomic = 0
 
     def walk(node) -> None:
@@ -307,6 +312,7 @@ def bind_condition(text: str, schema, lat_names: set[str],
                         f"{node.attribute!r}"
                     )
                 classes.add(cls.name.lower())
+                attributes.add(node.attribute.lower())
             else:
                 raise SchemaError(
                     f"unknown qualifier {node.qualifier!r} (neither a "
@@ -315,7 +321,7 @@ def bind_condition(text: str, schema, lat_names: set[str],
 
     walk(tree)
     bound = _bind_refs(tree, lat_names)
-    return CompiledCondition(text, bound, classes, lats, atomic)
+    return CompiledCondition(text, bound, classes, lats, atomic, attributes)
 
 
 def bind_row_condition(text: str, columns: set[str],

@@ -73,6 +73,8 @@ class SQLCM:
         self._sig_registry = SignatureRegistry()
         self._instance_counts: dict[bytes, int] = {}
         self._signatures_forced = False
+        # memoized signatures_needed; None = dirty, recompute on next read
+        self._signatures_needed_cache: bool | None = None
         self._event_queue: deque[tuple[str, dict]] = deque()
         self._dispatching = False
         self.events_handled = 0
@@ -113,6 +115,7 @@ class SQLCM:
                 cls.attribute(attr)  # raises SchemaError if unknown
         lat = structure(definition, self.server.clock)
         self._lats[key] = lat
+        self.invalidate_signature_cache()
         return lat
 
     def drop_lat(self, name: str) -> None:
@@ -125,7 +128,16 @@ class SQLCM:
                 raise LATError(
                     f"LAT {name!r} is referenced by rule {rule.name!r}"
                 )
+        if self._streams is not None:
+            for query in self._streams.queries():
+                if query.sink_lat is not None and \
+                        query.sink_lat.lower() == key:
+                    raise LATError(
+                        f"LAT {name!r} is the alert sink of stream query "
+                        f"{query.spec.name!r}"
+                    )
         del self._lats[key]
+        self.invalidate_signature_cache()
 
     def lat(self, name: str) -> LAT:
         try:
@@ -162,6 +174,7 @@ class SQLCM:
         self.rules[key] = rule
         self._rule_order.append(rule)
         self._rules_by_event.setdefault(event_def.engine_event, []).append(rule)
+        self.invalidate_signature_cache()
         return rule
 
     def remove_rule(self, name: str) -> None:
@@ -170,6 +183,10 @@ class SQLCM:
             raise RuleError(f"unknown rule {name!r}")
         self._rule_order.remove(rule)
         self._rules_by_event[rule.event_def.engine_event].remove(rule)
+        # the health record goes with the rule: a later rule reusing the
+        # name must not inherit error counts or quarantine state
+        self.health.drop(rule.name)
+        self.invalidate_signature_cache()
 
     def enable_rule(self, name: str, enabled: bool = True) -> None:
         rule = self.rules.get(name.lower())
@@ -247,27 +264,49 @@ class SQLCM:
     def enable_signatures(self, enabled: bool = True) -> None:
         """Force signature computation even with no referencing rule."""
         self._signatures_forced = enabled
+        self.invalidate_signature_cache()
 
     # ------------------------------------------------------------------
     # signatures / instance counting
     # ------------------------------------------------------------------
 
+    def invalidate_signature_cache(self) -> None:
+        """Drop the memoized ``signatures_needed`` flag.
+
+        Called whenever the set of rules, LATs, or stream queries changes
+        (the only inputs the flag depends on besides the forced switch)."""
+        self._signatures_needed_cache = None
+
     @property
     def signatures_needed(self) -> bool:
+        """Some rule, LAT, or stream query reads a signature attribute.
+
+        Memoized: the flag is re-derived only after rule/LAT/stream
+        registration changes, not on every ``query.compile`` and
+        ``query.commit`` — this property sits on the per-statement hot
+        path."""
+        cached = self._signatures_needed_cache
+        if cached is None:
+            cached = self._compute_signatures_needed()
+            self._signatures_needed_cache = cached
+        return cached
+
+    def _compute_signatures_needed(self) -> bool:
+        interesting = _SIGNATURE_ATTRS | _INSTANCE_ATTRS
         if self._signatures_forced:
             return True
         if self._streams is not None and self._streams.signatures_needed:
             return True
         for lat in self._lats.values():
             attrs = {a.lower() for a in lat.definition.source_attributes()}
-            if attrs & (_SIGNATURE_ATTRS | _INSTANCE_ATTRS):
+            if attrs & interesting:
                 return True
         for rule in self._rule_order:
             cond = rule.compiled_condition
-            if cond is not None and any(
-                attr in cond.text.lower()
-                for attr in ("signature", "number_of_instances")
-            ):
+            # bound attribute references, not a text scan: a LAT alias or
+            # string literal containing "signature" must not force
+            # signature computation onto every query
+            if cond is not None and cond.attributes & interesting:
                 return True
         return False
 
@@ -276,14 +315,18 @@ class SQLCM:
         qctx = payload["query"]
         if self.signatures_needed and entry.logical_signature is None:
             costs = self.server.costs
-            logical_nodes = sum(1 for __ in walk_logical(entry.logical))
-            physical_nodes = sum(1 for __ in walk_physical(entry.physical))
-            self.server.add_monitor_cost(
-                costs.signature_per_node * (logical_nodes + physical_nodes)
-            )
-            entry.logical_signature = digest(linearize_logical(entry.logical))
-            entry.physical_signature = digest(
-                linearize_physical(entry.physical))
+            with self.server.obs.attrib("engine", "signature"):
+                logical_nodes = sum(1 for __ in walk_logical(entry.logical))
+                physical_nodes = sum(
+                    1 for __ in walk_physical(entry.physical))
+                self.server.add_monitor_cost(
+                    costs.signature_per_node
+                    * (logical_nodes + physical_nodes)
+                )
+                entry.logical_signature = digest(
+                    linearize_logical(entry.logical))
+                entry.physical_signature = digest(
+                    linearize_physical(entry.physical))
         qctx.logical_signature = entry.logical_signature
         qctx.physical_signature = entry.physical_signature
         self._on_engine_event(event, payload)
@@ -364,6 +407,25 @@ class SQLCM:
         if not rules:
             return
         self.events_handled += 1
+        obs = self.server.obs
+        if obs.enabled:
+            cost_before = self.server.monitor_cost_total
+            with obs.span(f"dispatch:{event}", "dispatch"), \
+                    obs.attrib("engine", event):
+                self._dispatch_rules(event, payload, rules, obs)
+                obs.count("sqlcm.events.dispatched")
+                obs.observe("sqlcm.dispatch.cost",
+                            self.server.monitor_cost_total - cost_before)
+        else:
+            self._dispatch_rules(event, payload, rules, obs)
+
+    def _dispatch_rules(self, event: str, payload: dict, rules: list,
+                        obs) -> None:
+        """The dispatch body: context assembly, then rules in order.
+
+        ``obs`` is the server's observability facade (possibly the null
+        object); each rule runs under its own attribution frame so every
+        charge it makes is tallied against that rule."""
         costs = self.server.costs
         self.server.add_monitor_cost(costs.event_dispatch)
         context = self._build_context(event, payload)
@@ -373,14 +435,17 @@ class SQLCM:
         for rule in list(rules):
             if not rule.enabled:
                 continue
-            self.server.add_monitor_cost(costs.quarantine_check)
-            if not self.health.allow(rule.name, now):
-                continue
-            try:
-                self._evaluate_rule(rule, context)
-            except Exception as err:
-                # isolation backstop: scope iteration / context failures
-                self._record_rule_failure(rule, "evaluate", err)
+            with obs.attrib("rule", rule.name):
+                self.server.add_monitor_cost(costs.quarantine_check)
+                if not self.health.allow(rule.name, now):
+                    continue
+                with obs.span(f"rule:{rule.name}", "rule", event=event):
+                    try:
+                        self._evaluate_rule(rule, context)
+                    except Exception as err:
+                        # isolation backstop: scope iteration / context
+                        # assembly failures
+                        self._record_rule_failure(rule, "evaluate", err)
 
     # ------------------------------------------------------------------
     # context assembly
@@ -545,6 +610,7 @@ class SQLCM:
                 continue
             rule.fire_count += 1
             self.rule_firings += 1
+            self.server.obs.count("sqlcm.rules.fired")
             for action in rule.actions:
                 self.server.add_monitor_cost(costs.action_dispatch)
                 if not self._run_action(rule, action, combo, lat_rows):
@@ -613,6 +679,8 @@ class SQLCM:
                      lat_rows: dict[str, dict | None],
                      err: ActionDeliveryError) -> None:
         self.server.add_monitor_cost(self.server.costs.dead_letter_append)
+        self.server.obs.gauge("sqlcm.deadletter.depth",
+                              self.dead_letters.depth + 1)
         cause = err.__cause__ if err.__cause__ is not None else err
         self.dead_letters.append(DeadLetter(
             time=self.server.clock.now,
@@ -630,6 +698,7 @@ class SQLCM:
                              error: BaseException) -> None:
         """Charge, account, and surface one isolated rule failure."""
         self.server.add_monitor_cost(self.server.costs.rule_error_cost)
+        self.server.obs.count("sqlcm.rules.errors")
         self.rule_errors += 1
         now = self.server.clock.now
         health, newly_quarantined = self.health.record_failure(
@@ -666,6 +735,13 @@ class SQLCM:
         checksum for restore to detect.
         """
         lat = self.lat(lat_name)
+        with self.server.obs.attrib("lat", lat_name), \
+                self.server.obs.span(f"persist:{lat_name}", "persist",
+                                     table=table_name):
+            return self._persist_lat_rows(lat, lat_name, table_name)
+
+    def _persist_lat_rows(self, lat: LAT, lat_name: str,
+                          table_name: str) -> int:
         rows = lat.rows()
         columns = lat.definition.column_names()
         self._ensure_reporting_table(table_name, columns,
@@ -778,6 +854,13 @@ class SQLCM:
         code or by hand) restore unvalidated.
         """
         lat = self.lat(lat_name)
+        with self.server.obs.attrib("lat", lat_name), \
+                self.server.obs.span(f"restore:{lat_name}", "persist",
+                                     table=table_name):
+            return self._restore_lat_rows(lat, table_name, validate)
+
+    def _restore_lat_rows(self, lat: LAT, table_name: str,
+                          validate: bool) -> int:
         table = self.server.table(table_name)
         columns = [c.name.lower() for c in table.schema.columns]
         rows = [row for __, row in table.scan()]

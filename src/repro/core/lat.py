@@ -430,6 +430,18 @@ class LAT:
             total ^= zlib.crc32(repr(values).encode("utf-8"))
         return total ^ len(self._rows)
 
+    def occupancy(self) -> float:
+        """Row-count fill fraction in [0, 1] against ``max_rows``.
+
+        Unbounded LATs report 0.0 — they cannot evict, so "how full" is
+        not a meaningful pressure signal for them.  Feeds the
+        ``sqlcm.lat.occupancy.*`` gauges and the TOP OFFENDERS report.
+        """
+        max_rows = self.definition.max_rows
+        if not max_rows:
+            return 0.0
+        return min(1.0, len(self._rows) / max_rows)
+
     def memory_bytes(self) -> int:
         """Approximate memory footprint (drives max_bytes limits)."""
         n_columns = len(self.definition.column_names())

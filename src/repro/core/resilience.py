@@ -147,6 +147,11 @@ class RuleHealthRegistry:
     def known(self) -> list[RuleHealth]:
         return list(self._health.values())
 
+    def drop(self, name: str) -> None:
+        """Forget a rule's record (called when the rule is removed): a new
+        rule reusing the name starts with a clean history."""
+        self._health.pop(name.lower(), None)
+
     def quarantined(self) -> list[RuleHealth]:
         return [h for h in self._health.values() if h.state == QUARANTINED]
 

@@ -68,13 +68,15 @@ class TimerService:
             yield Delay(timer.interval)
             if timer.generation != generation or not timer.enabled:
                 return
-            server.add_monitor_cost(server.costs.timer_fire)
-            try:
-                self._sqlcm.check_fault("timer")
-            except FaultInjected:
-                pass  # this alert is lost; the timer itself survives
-            else:
-                self._sqlcm.dispatch_event("timer.alert", {"timer": timer})
+            with server.obs.attrib("engine", "timer"):
+                server.add_monitor_cost(server.costs.timer_fire)
+                try:
+                    self._sqlcm.check_fault("timer")
+                except FaultInjected:
+                    pass  # this alert is lost; the timer itself survives
+                else:
+                    self._sqlcm.dispatch_event("timer.alert",
+                                               {"timer": timer})
             # the alert's rule work executes in this background thread
             yield Delay(server.take_monitor_cost())
             if timer.remaining > 0:

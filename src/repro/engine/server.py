@@ -27,6 +27,7 @@ from repro.engine.storage import Table
 from repro.engine.txn import TransactionManager
 from repro.engine.types import SQLType
 from repro.errors import CatalogError, EngineError
+from repro.obs import NULL_OBS, Observability
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.scheduler import Scheduler
@@ -78,6 +79,8 @@ class DatabaseServer:
         self._active_queries: dict[int, QueryContext] = {}
         self._txn_current_query: dict[int, QueryContext] = {}
         self._pending_monitor_cost = 0.0
+        self.monitor_cost_total = 0.0
+        self._obs: Observability | None = None
         self._memory_reservations: dict[str, int] = {}
         self._authenticator = None
         self.login_failures = 0
@@ -217,13 +220,45 @@ class DatabaseServer:
 
     def add_monitor_cost(self, seconds: float) -> None:
         """Charge monitoring work (rule eval, LAT ops, log writes) to the
-        virtual clock; drained into Delay items by the running process."""
+        virtual clock; drained into Delay items by the running process.
+
+        When observability is enabled every charge is also tallied against
+        the innermost attribution context (see :mod:`repro.obs`)."""
         self._pending_monitor_cost += seconds
+        self.monitor_cost_total += seconds
+        if self._obs is not None:
+            self._obs.account(seconds)
 
     def take_monitor_cost(self) -> float:
         cost = self._pending_monitor_cost
         self._pending_monitor_cost = 0.0
         return cost
+
+    # -- self-observability -----------------------------------------------------
+
+    @property
+    def obs(self):
+        """The observability facade, or the shared null object when off.
+
+        Hot-path call sites use this unconditionally — the null object's
+        context managers are no-ops and never charge the pool."""
+        obs = self._obs
+        return obs if obs is not None else NULL_OBS
+
+    @property
+    def observability_enabled(self) -> bool:
+        return self._obs is not None
+
+    def enable_observability(self, trace_capacity: int = 4096
+                             ) -> Observability:
+        """Install (or return the existing) observability layer."""
+        if self._obs is None:
+            self._obs = Observability(self, trace_capacity=trace_capacity)
+        return self._obs
+
+    def disable_observability(self) -> None:
+        """Detach the layer; accumulated data is discarded."""
+        self._obs = None
 
     # -- statement pipeline -----------------------------------------------------------------
 

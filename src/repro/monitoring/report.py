@@ -214,6 +214,46 @@ def server_activity(server, limit: int = 10) -> str:
     return "\n".join(lines)
 
 
+def top_offenders(server, sqlcm, limit: int = 10) -> str:
+    """Rules / LATs / streams ranked by attributed monitoring cost.
+
+    Answers the DBA question the pool total cannot: *which* piece of the
+    monitoring configuration is spending the overhead budget.  Requires
+    ``server.enable_observability()``; reports that it is off otherwise.
+    """
+    lines = ["TOP OFFENDERS", ""]
+    if not server.observability_enabled:
+        lines.append("observability is disabled "
+                     "(server.enable_observability() to collect)")
+        return "\n".join(lines)
+    attribution = server.obs.attribution
+    rows = []
+    total = server.monitor_cost_total
+    for kind, name, cost, charges in attribution.top(limit):
+        share = (cost / total * 100.0) if total else 0.0
+        rows.append((f"{kind}:{name}", f"{cost * 1e6:.3f}us",
+                     f"{share:.1f}%", charges))
+    if rows:
+        lines += _table(["component", "cost", "share", "charges"], rows)
+    else:
+        lines.append("no attributed monitoring cost yet")
+    lines.append("")
+    by_kind = attribution.by_kind()
+    lines += _table(
+        ["kind", "cost", "components"],
+        [
+            (kind, f"{cost * 1e6:.3f}us",
+             len(attribution.components(kind)))
+            for kind, cost in sorted(by_kind.items(),
+                                     key=lambda kv: -kv[1])
+        ],
+    )
+    lines.append("")
+    lines.append(f"monitor pool total: {total * 1e6:.3f}us  "
+                 f"attributed: {attribution.attributed_total() * 1e6:.3f}us")
+    return "\n".join(lines)
+
+
 def full_report(server, sqlcm) -> str:
     """Everything a DBA checks first."""
     sections = [
@@ -224,6 +264,8 @@ def full_report(server, sqlcm) -> str:
     ]
     if sqlcm.has_streams:
         sections.append(stream_activity(sqlcm))
+    if server.observability_enabled:
+        sections.append(top_offenders(server, sqlcm))
     return ("\n\n" + "=" * 60 + "\n\n").join(sections)
 
 

@@ -1,0 +1,42 @@
+"""Self-observability: attributed cost accounting, trace spans, metrics.
+
+The monitoring framework instruments the *server*; this package instruments
+the *monitor*.  Three pieces, composed by :class:`Observability`:
+
+* :mod:`repro.obs.attribution` — a cost-context stack so every charge to
+  the monitor-cost pool is tallied per rule / LAT / stream query / engine
+  site, with a conservation invariant (component sums == pool total).
+* :mod:`repro.obs.tracing` — begin/end spans on the virtual clock in a
+  bounded ring buffer, exportable as Chrome-trace JSON.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  (p50/p95/max) behind a snapshot API.
+
+Enable per server::
+
+    obs = server.enable_observability()
+    ... run workload ...
+    obs.attribution.top()         # TOP OFFENDERS
+    obs.metrics.snapshot()        # counters / gauges / histograms
+    obs.trace.export_json(fp)     # chrome://tracing / Perfetto
+"""
+
+from repro.obs.attribution import KINDS, UNATTRIBUTED, CostAttribution
+from repro.obs.metrics import (Counter, Gauge, Histogram, LATENCY_BOUNDS,
+                               MetricsRegistry)
+from repro.obs.observability import NULL_OBS, Observability
+from repro.obs.tracing import Span, TraceRecorder
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "CostAttribution",
+    "KINDS",
+    "UNATTRIBUTED",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS",
+    "TraceRecorder",
+    "Span",
+]

@@ -1,0 +1,173 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is the snapshot surface behind the CLI's ``.metrics`` command
+and the observability section of the DBA report.  Histograms use fixed
+bucket boundaries (Prometheus-style ``le`` semantics: an observation lands
+in the first bucket whose upper bound is >= the value) so that p50/p95 are
+O(#buckets) to compute and the memory footprint is constant regardless of
+how many observations arrive.  ``max``/``min``/``sum``/``count`` are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _latency_bounds() -> tuple[float, ...]:
+    """Default log-spaced bounds, 1ns .. 1s (virtual): 1/2.5/5 per decade."""
+    bounds: list[float] = []
+    for exponent in range(-9, 1):
+        for mantissa in (1.0, 2.5, 5.0):
+            bounds.append(mantissa * 10.0 ** exponent)
+    return tuple(bounds)
+
+
+#: default bucket boundaries for virtual-latency histograms
+LATENCY_BOUNDS = _latency_bounds()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (less-or-equal) bucket semantics.
+
+    ``bounds`` must be strictly increasing; an implicit overflow bucket
+    catches observations above the last bound.  Quantiles interpolate
+    linearly inside the winning bucket and are clamped to the exact
+    observed ``min``/``max``, so ``quantile(1.0) == max`` always holds.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds: Iterable[float] | None = None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else LATENCY_BOUNDS
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    def _bucket_index(self, value: float) -> int:
+        # bisect_left over upper bounds gives the first bound >= value
+        import bisect
+        return bisect.bisect_left(self.bounds, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) estimated from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index < len(self.bounds):
+                    upper = self.bounds[index]
+                    lower = self.bounds[index - 1] if index else 0.0
+                else:  # overflow bucket: clamp to the observed max
+                    return self.vmax
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, fraction)
+                # never report outside the observed range
+                return min(max(estimate, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - cumulative covers count
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.vmax if self.vmax is not None else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] | None = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat, JSON-friendly view of every registered metric."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self._histograms.items())},
+        }

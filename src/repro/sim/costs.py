@@ -99,6 +99,14 @@ class CostModel:
     stream_anomaly_update: float = 0.05e-6
     stream_alert_publish: float = 0.5e-6
 
+    # --- self-observability (attribution, spans, metrics) -----------------
+    # the monitor observing itself must stay inside the Figure 2 envelope;
+    # pushing an attribution context or bumping a metric is a couple of
+    # pointer writes, recording a span is a clock read + ring append
+    obs_attrib: float = 0.002e-6
+    obs_span: float = 0.01e-6
+    obs_metric: float = 0.002e-6
+
     # --- fault isolation (resilience layer) -------------------------------
     # catching + recording one rule failure; a per-rule quarantine-state
     # check is a flag read (~1ns); checksums are a CRC over one row

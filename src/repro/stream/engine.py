@@ -135,6 +135,7 @@ class StreamEngine:
         if spec.engine_event not in self._subscribed:
             self.server.events.subscribe(spec.engine_event, self._on_event)
             self._subscribed.add(spec.engine_event)
+        self._sqlcm.invalidate_signature_cache()
         return query
 
     def remove(self, name: str) -> None:
@@ -142,6 +143,7 @@ class StreamEngine:
         if query is None:
             raise StreamError(f"unknown stream query {name!r}")
         self._by_event[query.spec.engine_event].remove(query)
+        self._sqlcm.invalidate_signature_cache()
 
     def query(self, name: str) -> StreamQuery:
         try:
@@ -174,8 +176,10 @@ class StreamEngine:
                       if a.attribute is not None]
             if any(a in _SIGNATURE_HINTS for a in attrs):
                 return True
+            # bound references, not a text scan (aliases or string
+            # literals mentioning "signature" must not force signatures)
             if spec.where is not None and \
-                    "signature" in spec.where.text.lower():
+                    spec.where.attributes & set(_SIGNATURE_HINTS):
                 return True
         return False
 
@@ -193,6 +197,7 @@ class StreamEngine:
         # applied, so an event at t never lands in a window ending <= t
         if not self._in_emit:
             self._flush(now)
+        obs = self.server.obs
         context: dict | None = None
         built = False
         for query in list(queries):
@@ -201,14 +206,15 @@ class StreamEngine:
                 continue
             if not self.health.allow(query.spec.name, now):
                 continue
-            try:
-                self._sqlcm.check_fault("stream.eval")
-                if not built:
-                    context = self._sqlcm._build_context(event, payload)
-                    built = True
-                self._ingest(query, context, now)
-            except Exception as err:
-                self._record_failure(query, "stream.eval", err)
+            with obs.attrib("stream", query.spec.name):
+                try:
+                    self._sqlcm.check_fault("stream.eval")
+                    if not built:
+                        context = self._sqlcm._build_context(event, payload)
+                        built = True
+                    self._ingest(query, context, now)
+                except Exception as err:
+                    self._record_failure(query, "stream.eval", err)
 
     def _ingest(self, query: StreamQuery, context: dict | None,
                 now: float) -> None:
@@ -281,12 +287,16 @@ class StreamEngine:
         now = self.server.clock.now
         if not self.health.allow(query.spec.name, now):
             return
-        try:
-            self._sqlcm.check_fault("stream.window")
-            self._evaluate_window(query, boundary)
-            self.health.record_success(query.spec.name)
-        except Exception as err:
-            self._record_failure(query, "stream.window", err)
+        obs = self.server.obs
+        with obs.attrib("stream", query.spec.name), \
+                obs.span(f"stream.window:{query.spec.name}", "stream",
+                         boundary=boundary):
+            try:
+                self._sqlcm.check_fault("stream.window")
+                self._evaluate_window(query, boundary)
+                self.health.record_success(query.spec.name)
+            except Exception as err:
+                self._record_failure(query, "stream.window", err)
 
     def _evaluate_window(self, query: StreamQuery, boundary: int) -> None:
         spec = query.spec
@@ -367,6 +377,7 @@ class StreamEngine:
         query.alerts.append(alert)
         query.alert_count += 1
         self.alerts_published += 1
+        self.server.obs.count("sqlcm.stream.alerts")
         if query.sink_lat is not None and self._sqlcm.has_lat(query.sink_lat):
             lat = self._sqlcm.lat(query.sink_lat)
             self.server.add_monitor_cost(

@@ -1,0 +1,378 @@
+"""Tests for the self-observability layer: attribution, spans, metrics.
+
+The load-bearing property is *conservation*: with observability enabled,
+every virtual second charged to the monitor pool is tallied against
+exactly one component, so per-component costs sum to the pool total (up
+to float associativity).  The layer must also be genuinely free when
+disabled — the shipping default.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro import (DatabaseServer, InsertAction, LATDefinition,
+                   PersistAction, Rule, ServerConfig, SQLCM)
+from repro.cli import Shell
+from repro.monitoring.report import full_report, top_offenders
+from repro.obs import (NULL_OBS, CostAttribution, Histogram, TraceRecorder,
+                       UNATTRIBUTED)
+from repro.sim import SimClock
+
+
+@pytest.fixture
+def observed(items_server):
+    items_server.enable_observability()
+    return items_server, SQLCM(items_server)
+
+
+def _install_monitoring(sqlcm: SQLCM) -> None:
+    sqlcm.create_lat(LATDefinition(
+        name="Dur_LAT", monitored_class="Query",
+        grouping=["Query.Logical_Signature AS Sig"],
+        aggregations=["AVG(Query.Duration) AS Avg_Dur"],
+        ordering=["Avg_Dur DESC"], max_rows=3))
+    sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                        actions=[InsertAction("Dur_LAT")]))
+    sqlcm.add_rule(Rule(name="persist_slow", event="Query.Commit",
+                        condition="Query.Duration >= 0.0",
+                        actions=[PersistAction("slow_queries",
+                                               source="Dur_LAT")]))
+    sqlcm.stream_engine().register(
+        "STREAM rates FROM Query.Commit GROUP BY Query.User AS U "
+        "WINDOW TUMBLING(1) AGG COUNT(*) AS N")
+
+
+def _run_queries(server, n: int = 20) -> None:
+    session = server.create_session(user="app")
+    for i in range(n):
+        result = session.execute(
+            f"SELECT price FROM items WHERE id = {1 + i % 6}")
+        assert result.error is None
+    server.clock.advance(2.0)
+
+
+class TestConservation:
+    def test_attributed_costs_sum_to_pool_total(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server)
+        sqlcm.stream_engine().flush()
+        sqlcm.set_timer("tick", 0.5, 2)
+        server.scheduler.run(until=server.clock.now + 3.0)
+
+        attribution = server.obs.attribution
+        attributed = attribution.attributed_total()
+        assert server.monitor_cost_total > 0
+        assert math.isclose(attributed, server.monitor_cost_total,
+                            rel_tol=1e-9)
+        # and the running total agrees with a fresh fsum over components
+        assert math.isclose(
+            math.fsum(cost for __, __n, cost, __c
+                      in attribution.components()),
+            server.monitor_cost_total, rel_tol=1e-9)
+
+    def test_every_kind_sees_traffic(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server)
+        sqlcm.stream_engine().flush()
+        by_kind = server.obs.attribution.by_kind()
+        assert set(by_kind) >= {"rule", "lat", "stream", "engine"}
+        assert all(cost > 0 for cost in by_kind.values())
+
+    def test_lat_leads_attribution(self, observed):
+        """The paper calls LAT maintenance "the biggest factor"; the
+        attribution board must be able to show that for a LAT-heavy
+        configuration."""
+        server, sqlcm = observed
+        sqlcm.create_lat(LATDefinition(
+            name="Big_LAT", monitored_class="Query",
+            grouping=["Query.ID AS Qid"],
+            aggregations=["LAST(Query.Duration) AS D"],
+            ordering=["Qid DESC"], max_rows=5))
+        sqlcm.add_rule(Rule(name="r", event="Query.Commit",
+                            actions=[InsertAction("Big_LAT")]))
+        _run_queries(server)
+        top = server.obs.attribution.top(5)
+        assert ("lat", "big_lat") in [(k, n) for k, n, __, __c in top]
+
+
+class TestAttribution:
+    def test_innermost_frame_wins(self):
+        attribution = CostAttribution()
+        with_pool = []
+        attribution.push("rule", "Outer")
+        attribution.account(1.0)
+        attribution.push("lat", "inner")
+        attribution.account(0.25)
+        attribution.pop()
+        attribution.account(1.0)
+        attribution.pop()
+        with_pool.append(attribution.totals)
+        assert attribution.totals[("rule", "outer")] == 2.0
+        assert attribution.totals[("lat", "inner")] == 0.25
+
+    def test_unattributed_fallback(self):
+        attribution = CostAttribution()
+        attribution.account(0.5)
+        assert attribution.totals[UNATTRIBUTED] == 0.5
+
+    def test_pop_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            CostAttribution().pop()
+
+    def test_unknown_kind_rejected(self, observed):
+        server, __ = observed
+        with pytest.raises(ValueError, match="unknown attribution kind"):
+            server.obs.attrib("nonsense", "x")
+
+    def test_self_charges_are_attributed(self, observed):
+        """The obs layer's own charges flow through the pool and land in
+        some component — conservation covers the instrument itself."""
+        server, __ = observed
+        with server.obs.attrib("rule", "r"):
+            pass
+        attribution = server.obs.attribution
+        assert math.isclose(attribution.attributed_total(),
+                            server.monitor_cost_total, rel_tol=1e-9)
+        # the attrib charge lands in the *enclosing* (empty -> fallback)
+        # frame, not the frame being opened
+        assert UNATTRIBUTED in attribution.totals
+
+
+class TestHistogram:
+    def test_bucket_edges_are_le(self):
+        hist = Histogram("h", bounds=[1.0, 2.0, 4.0])
+        for value in [0.5, 1.0, 1.5, 2.0, 4.0, 9.0]:
+            hist.observe(value)
+        # le semantics: a value equal to a bound lands in that bound's
+        # bucket, one past it lands in the next
+        assert hist.counts == [2, 2, 1, 1]
+        assert hist.count == 6
+        assert hist.vmax == 9.0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        hist.observe(5.0)
+        hist.observe(5.0)
+        assert hist.vmin <= hist.p50 <= hist.vmax
+        assert hist.p95 <= hist.vmax
+        assert hist.quantile(0.0) >= hist.vmin
+
+    def test_overflow_bucket_reports_max(self):
+        hist = Histogram("h", bounds=[1.0])
+        hist.observe(50.0)
+        assert hist.p95 == 50.0
+
+    def test_empty_summary(self):
+        hist = Histogram("h", bounds=[1.0])
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[2.0, 1.0])
+
+    def test_default_latency_bounds_cover_cost_scale(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server)
+        hist = server.obs.metrics.histogram("sqlcm.dispatch.cost")
+        assert hist.count > 0
+        # dispatch costs are sub-millisecond virtual charges; the default
+        # buckets must resolve them (not dump everything in one bucket)
+        assert hist.p95 < 1e-3
+        assert hist.p50 > 0
+
+
+class TestTracing:
+    def test_ring_is_bounded(self):
+        clock = SimClock()
+        trace = TraceRecorder(clock, capacity=4)
+        for i in range(10):
+            span = trace.begin(f"s{i}", "test")
+            clock.advance(0.001)
+            trace.end(span)
+        assert len(trace) == 4
+        assert trace.dropped == 6
+        assert trace.completed == 10
+        assert [s.name for s in trace.spans(4)] == ["s6", "s7", "s8", "s9"]
+
+    def test_chrome_export_structure(self, observed, tmp_path):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server, n=4)
+        path = tmp_path / "trace.json"
+        with open(path, "w", encoding="utf-8") as fp:
+            server.obs.trace.export_json(fp)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == 1 and event["tid"] == 1
+        categories = {e["cat"] for e in events}
+        assert {"dispatch", "rule", "lat"} <= categories
+
+    def test_spans_carry_monitor_cost_delta(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server, n=2)
+        dispatch = [s for s in server.obs.trace.spans(0)
+                    if s.category == "dispatch"]
+        assert dispatch
+        assert any(s.args["cost_us"] > 0 for s in dispatch)
+
+    def test_tracing_can_be_switched_off_independently(self, observed):
+        server, sqlcm = observed
+        server.obs.tracing_enabled = False
+        _install_monitoring(sqlcm)
+        _run_queries(server, n=3)
+        assert len(server.obs.trace) == 0
+        # attribution still collects
+        assert server.obs.attribution.attributed_total() > 0
+
+
+class TestDisabled:
+    def test_obs_is_null_object_by_default(self, server):
+        assert server.obs is NULL_OBS
+        assert not server.observability_enabled
+        assert not server.obs.enabled
+
+    def test_disabled_observability_charges_nothing(self, items_server):
+        """Same monitoring work, observability off vs on: the off run's
+        pool total must be exactly the cost of the monitoring itself."""
+        def run(enable: bool) -> float:
+            server = DatabaseServer(
+                ServerConfig(track_completed_queries=True))
+            server.execute_ddl(
+                "CREATE TABLE items (id INT NOT NULL PRIMARY KEY, "
+                "name VARCHAR(30), price FLOAT, qty INT, "
+                "segment VARCHAR(10))")
+            loader = server.create_session()
+            loader.execute("INSERT INTO items (id, name, price, qty, "
+                           "segment) VALUES (1, 'apple', 1.5, 10, 'fruit')")
+            if enable:
+                server.enable_observability()
+            sqlcm = SQLCM(server)
+            _install_monitoring(sqlcm)
+            session = server.create_session(user="app")
+            for __ in range(10):
+                session.execute("SELECT price FROM items WHERE id = 1")
+            return server.monitor_cost_total
+
+        off_a, off_b, on = run(False), run(False), run(True)
+        assert off_a == off_b  # deterministic
+        assert on > off_a      # the layer charges for itself when on
+
+    def test_null_obs_contexts_are_noops(self, server):
+        with server.obs.attrib("rule", "r") as frame:
+            assert frame is None
+        with server.obs.span("x") as span:
+            assert span is None
+        server.obs.count("c")
+        server.obs.gauge("g", 1.0)
+        server.obs.observe("h", 1.0)
+        assert server.monitor_cost_total == 0.0
+
+    def test_disable_reenable(self, items_server):
+        items_server.enable_observability()
+        first = items_server.obs
+        assert items_server.enable_observability() is first  # idempotent
+        items_server.disable_observability()
+        assert items_server.obs is NULL_OBS
+        assert items_server.enable_observability() is not first
+
+
+class TestMetricsAndReport:
+    def test_dispatch_metrics_populate(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server, n=6)
+        snap = server.obs.metrics.snapshot()
+        assert snap["counters"]["sqlcm.events.dispatched"] >= 6
+        assert snap["counters"]["sqlcm.rules.fired"] >= 6
+        assert snap["counters"]["sqlcm.lat.inserts"] >= 6
+        assert "sqlcm.lat.rows.dur_lat" in snap["gauges"]
+        assert snap["gauges"]["sqlcm.lat.occupancy.dur_lat"] <= 1.0
+        assert snap["histograms"]["sqlcm.dispatch.cost"]["count"] >= 6
+
+    def test_rule_error_counter(self, observed):
+        server, sqlcm = observed
+        from repro.core.actions import CallbackAction
+
+        def boom(s, c):
+            raise RuntimeError("nope")
+
+        sqlcm.add_rule(Rule(name="bad", event="Query.Commit",
+                            actions=[CallbackAction(boom)]))
+        _run_queries(server, n=2)
+        snap = server.obs.metrics.snapshot()
+        assert snap["counters"]["sqlcm.rules.errors"] >= 2
+
+    def test_top_offenders_report(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server)
+        text = top_offenders(server, sqlcm)
+        assert "TOP OFFENDERS" in text
+        assert "lat:dur_lat" in text
+        assert "monitor pool total" in text
+        assert "TOP OFFENDERS" in full_report(server, sqlcm)
+
+    def test_top_offenders_when_disabled(self, items_server):
+        sqlcm = SQLCM(items_server)
+        text = top_offenders(items_server, sqlcm)
+        assert "disabled" in text
+        assert "TOP OFFENDERS" not in full_report(items_server, sqlcm)
+
+    def test_snapshot_shape(self, observed):
+        server, sqlcm = observed
+        _install_monitoring(sqlcm)
+        _run_queries(server, n=3)
+        snap = server.obs.snapshot()
+        assert set(snap) == {"metrics", "attribution", "trace"}
+        assert snap["trace"]["capacity"] == 4096
+        assert snap["attribution"]["total"] > 0
+
+
+class TestCLI:
+    def _shell(self, script: str) -> str:
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.run_script(
+            "CREATE TABLE t (a INT NOT NULL PRIMARY KEY, b FLOAT);\n"
+            "INSERT INTO t VALUES (1, 2.0), (2, 3.0);\n"
+            ".monitor topk 5\n"
+            "SELECT * FROM t;\n" + script)
+        return out.getvalue()
+
+    def test_metrics_command(self):
+        text = self._shell(".metrics\n")
+        assert "sqlcm.events.dispatched" in text
+        assert "TOP OFFENDERS" in text
+        assert "sqlcm.dispatch.cost" in text
+
+    def test_trace_command(self):
+        text = self._shell(".trace 3\n")
+        assert "[dispatch] dispatch:query.commit" in text
+
+    def test_trace_export(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = self._shell(f".trace export {path}\n")
+        assert "wrote" in text
+        data = json.loads(path.read_text())
+        assert data["traceEvents"]
+
+    def test_trace_usage_errors(self):
+        assert "usage" in self._shell(".trace export\n")
+        assert "usage" in self._shell(".trace bogus\n")

@@ -66,6 +66,61 @@ class TestRuleManagement:
             sqlcm.add_rule(Rule(name="r", event="Query.Commit",
                                 actions=[InsertAction("NoSuchLat")]))
 
+    def test_remove_rule_drops_health_record(self, monitored):
+        """Regression: removing a rule used to leak its RuleHealth entry,
+        so a re-added rule with the same name inherited the old error
+        count (and could start life quarantined)."""
+        server, sqlcm = monitored
+
+        def boom(s, c):
+            raise RuntimeError("nope")
+
+        sqlcm.add_rule(Rule(name="flaky", event="Query.Commit",
+                            actions=[CallbackAction(boom)]))
+        _run(server, "SELECT id FROM items WHERE id = 1")
+        assert sqlcm.health.health_of("flaky").error_count > 0
+        sqlcm.remove_rule("flaky")
+        assert "flaky" not in [h.name for h in sqlcm.health.known()]
+        # the reincarnated rule starts with a clean history
+        sqlcm.add_rule(Rule(name="flaky", event="Query.Commit",
+                            actions=[SendMailAction("ok", "a@b")]))
+        assert sqlcm.health.health_of("flaky").error_count == 0
+        assert not sqlcm.health.health_of("flaky").quarantined
+
+    def test_signatures_needed_ignores_string_literals(self, monitored):
+        """Regression: the flag used to substring-scan condition text, so
+        a string literal or alias containing "signature" forced signature
+        computation onto every query."""
+        __, sqlcm = monitored
+        sqlcm.add_rule(Rule(
+            name="r", event="Query.Commit",
+            condition="Query.Application = 'signature_service'",
+            actions=[SendMailAction("x", "a@b")]))
+        assert not sqlcm.signatures_needed
+        # a real bound reference still flips it
+        sqlcm.add_rule(Rule(
+            name="r2", event="Query.Commit",
+            condition="Query.Number_of_instances > 1",
+            actions=[SendMailAction("x", "a@b")]))
+        assert sqlcm.signatures_needed
+
+    def test_signatures_needed_cache_invalidation(self, monitored):
+        """The flag is memoized off the hot path; registration changes
+        must drop the cache in both directions."""
+        __, sqlcm = monitored
+        assert not sqlcm.signatures_needed
+        sqlcm.create_lat(LATDefinition(
+            name="Sig_LAT", monitored_class="Query",
+            grouping=["Query.Logical_Signature AS Sig"],
+            aggregations=["COUNT(Query.ID) AS N"]))
+        assert sqlcm.signatures_needed
+        sqlcm.drop_lat("Sig_LAT")
+        assert not sqlcm.signatures_needed
+        sqlcm.enable_signatures(True)
+        assert sqlcm.signatures_needed
+        sqlcm.enable_signatures(False)
+        assert not sqlcm.signatures_needed
+
     def test_enable_disable(self, monitored):
         server, sqlcm = monitored
         fired = []

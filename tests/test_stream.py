@@ -386,6 +386,25 @@ class TestSinks:
         assert row["N"] == 1
         assert row["Last_Value"] == 2  # COUNT of the window
 
+    def test_drop_lat_refuses_active_sink(self, server, sqlcm):
+        """Regression: ``drop_lat`` guarded rule-referenced LATs but let a
+        stream query's sink LAT go, silently stopping alert sinking."""
+        from repro.errors import LATError
+        sqlcm.create_lat(LATDefinition(
+            name="Sink_LAT", monitored_class="StreamAlert",
+            grouping=["StreamAlert.Stream_Name AS Stream"],
+            aggregations=["COUNT(StreamAlert.Kind) AS N"]))
+        streams = sqlcm.stream_engine()
+        streams.register(
+            "STREAM s FROM Query.Commit WINDOW TUMBLING(5) "
+            "AGG COUNT(*) AS N", sink_lat="Sink_LAT")
+        with pytest.raises(LATError, match="alert sink"):
+            sqlcm.drop_lat("Sink_LAT")
+        # removing the stream query releases the LAT
+        streams.remove("s")
+        sqlcm.drop_lat("Sink_LAT")
+        assert not sqlcm.has_lat("Sink_LAT")
+
     def test_stream_alert_closes_the_loop_through_eca_rules(
             self, server, sqlcm):
         """Acceptance: a sliding-window stream query with HAVING fires a
