@@ -1,0 +1,262 @@
+"""G1: the overload governor enforces the paper's < 4% envelope.
+
+The paper's Figure 2 shows monitoring overhead staying under ~4% for its
+1000-rule setup — but nothing *enforces* that bound: a hostile rule set on
+a fast client path silently blows the budget.  This experiment builds that
+hostile configuration (E2-shaped rules — per-rule LAT keeping the last 10
+queries, ~20 atomic conditions each — against a deliberately cheap
+statement path) and runs it three ways:
+
+* **baseline** — no monitoring at all (the denominator);
+* **ungoverned** — full rule set, no governor: overhead breaches 4%;
+* **governed** — same rule set under the closed-loop governor: the ladder
+  degrades (deterministic sampling, then shedding if needed), overhead
+  lands back inside the envelope, and once the storm passes the ladder
+  recovers to NORMAL with zero flapping.
+
+A CRITICAL sentinel rule + LAT ride along to show degradation never
+touches protected components.  The governed run is executed twice and must
+be bit-identical (sample digest, sampled-out count, LAT contents):
+hash-based admission is a pure function of the event trace.
+
+Writes ``BENCH_governor.json`` (machine-readable overhead ratios per
+ladder state) next to the repo's other bench artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from benchmarks.conftest import build_server, quick, run_workload
+from repro import (CostModel, GovernorPolicy, InsertAction, LATDefinition,
+                   Rule, SQLCM)
+from repro.core.governor import GOV_NORMAL
+
+N_RULES = quick(1000, 400)
+N_CONDITIONS = 20
+STORM_QUERIES = quick(500, 240)
+CALM_QUERIES = quick(250, 120)
+
+#: E2 uses the stock cost model, where 1000 rules stay under 4% (the
+#: paper's result).  G1's point is the *unenforced* regime, so it cheapens
+#: the statement path ~5x: the same rule set now costs >4% per query —
+#: exactly the configuration the governor exists for.
+GOV_COSTS = replace(CostModel(), statement_overhead=2e-3)
+
+POLICY = GovernorPolicy(
+    target_overhead=0.04,   # the paper envelope
+    exit_overhead=0.02,
+    window=0.08,
+    cooldown=0.2,
+    decision_interval=0.02,
+    sample_rate=8,
+)
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_governor.json"
+
+
+def _install_monitoring(sqlcm: SQLCM, n_rules: int) -> None:
+    # the protected component: a CRITICAL audit trail that must survive
+    # every ladder state
+    sqlcm.create_lat(LATDefinition(
+        name="Sentinel_LAT",
+        monitored_class="Query",
+        grouping=["Query.Application AS App"],
+        aggregations=["COUNT(Query.ID) AS Commits"],
+        criticality="critical",
+    ))
+    sqlcm.add_rule(Rule(
+        name="g1_sentinel", event="Query.Commit",
+        criticality="critical",
+        actions=[InsertAction("Sentinel_LAT")],
+    ))
+    # the hostile load: E2's shape, one LAT + 20 conditions per rule
+    condition = " AND ".join(
+        f"Query.Duration >= {j * -1.0}" for j in range(N_CONDITIONS))
+    for i in range(n_rules):
+        sqlcm.create_lat(LATDefinition(
+            name=f"G1_LAT_{i}",
+            monitored_class="Query",
+            grouping=["Query.ID AS Qid"],
+            aggregations=[
+                "LAST(Query.Query_Text) AS Text",
+                "LAST(Query.Duration) AS Duration",
+                "LAST(Query.Estimated_Cost) AS Cost",
+                "LAST(Query.Query_Type) AS Qtype",
+            ],
+            ordering=["Qid DESC"],
+            max_rows=10,
+        ))
+        sqlcm.add_rule(Rule(
+            name=f"g1_rule_{i}",
+            event="Query.Commit",
+            condition=condition,
+            actions=[InsertAction(f"G1_LAT_{i}")],
+        ))
+
+
+def _baseline() -> float:
+    server, counts = build_server(costs=GOV_COSTS, track_completed=False)
+    return run_workload(server, counts, short=STORM_QUERIES, joins=0)
+
+
+def _run(governed: bool):
+    """Storm (full rule set) then calm (hostile rules pulled); returns
+    (storm virtual seconds, sqlcm, governor-or-None)."""
+    server, counts = build_server(costs=GOV_COSTS, track_completed=False)
+    sqlcm = SQLCM(server)
+    governor = sqlcm.enable_governor(POLICY) if governed else None
+    _install_monitoring(sqlcm, N_RULES)
+    storm = run_workload(server, counts, short=STORM_QUERIES, joins=0,
+                         application="storm")
+    # the storm passes: the DBA pulls the hostile deployment but the
+    # workload (and the sentinel) keep running
+    for i in range(N_RULES):
+        sqlcm.enable_rule(f"g1_rule_{i}", False)
+    run_workload(server, counts, short=CALM_QUERIES, joins=0,
+                 application="calm")
+    return storm, sqlcm, governor
+
+
+def _replay_fingerprint(sqlcm: SQLCM, governor) -> tuple:
+    return (
+        governor.sample_digest,
+        governor.evals_sampled_out,
+        governor.evals_suspended,
+        len(governor.transitions),
+        sqlcm.lat("G1_LAT_0").integrity_signature(),
+        sum(row["Commits"] for row in sqlcm.lat("Sentinel_LAT").rows()),
+    )
+
+
+def test_g1_governor_enforces_envelope(report, benchmark):
+    results: dict = {}
+
+    def run_all():
+        base = _baseline()
+        ungoverned_storm, __, __ = _run(governed=False)
+        governed_storm, sqlcm, governor = _run(governed=True)
+        results["base"] = base
+        results["ungoverned_pct"] = 100.0 * (ungoverned_storm - base) / base
+        results["governed_pct"] = 100.0 * (governed_storm - base) / base
+        results["sqlcm"] = sqlcm
+        results["governor"] = governor
+        return base
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    governor = results["governor"]
+    sqlcm = results["sqlcm"]
+    transitions = governor.transitions
+    per_state = governor.state_overheads()
+
+    lines = [
+        "G1: closed-loop governor vs the paper's < 4% envelope",
+        f"hostile load: {N_RULES} rules x {N_CONDITIONS} conditions, "
+        f"per-rule LATs, {STORM_QUERIES} storm + {CALM_QUERIES} calm "
+        f"queries",
+        f"baseline:   {results['base']:.3f}s virtual",
+        f"ungoverned: +{results['ungoverned_pct']:.2f}%   "
+        f"(envelope: 4%)",
+        f"governed:   +{results['governed_pct']:.2f}%   "
+        f"(final state: {governor.state})",
+        "per-state overhead ratio: " + "  ".join(
+            f"{state}={ratio * 100:.2f}%"
+            for state, ratio in per_state.items()),
+        "ladder: " + " -> ".join(
+            f"{t.to_state}@{t.time:.2f}s({t.reason})"
+            for t in transitions),
+    ]
+    report(*lines)
+
+    # --- the envelope ----------------------------------------------------
+    assert results["ungoverned_pct"] > 4.0, \
+        "hostile configuration must breach the envelope when ungoverned"
+    assert results["governed_pct"] <= 4.0, \
+        "governed overhead must stay inside the paper's envelope"
+
+    # --- degradation and clean recovery, zero flapping -------------------
+    assert transitions, "the governor never reacted to the storm"
+    reasons = [t.reason for t in transitions]
+    first_recover = reasons.index("recover") if "recover" in reasons \
+        else len(reasons)
+    assert all(r == "escalate" for r in reasons[:first_recover])
+    assert all(r == "recover" for r in reasons[first_recover:]), \
+        f"ladder flapped: {reasons}"
+    assert governor.state == GOV_NORMAL, "storm over: must recover fully"
+    assert not governor.suspended
+    for earlier, later in zip(transitions, transitions[1:]):
+        assert later.time - earlier.time >= POLICY.cooldown - 1e-9
+    assert governor.evals_sampled_out > 0  # SAMPLED actually sampled
+
+    # --- criticality protection ------------------------------------------
+    sentinel = sqlcm.rules["g1_sentinel"]
+    total_queries = STORM_QUERIES + CALM_QUERIES
+    assert sentinel.evaluation_count >= total_queries, \
+        "CRITICAL sentinel must see every commit in every ladder state"
+    commits = sum(row["Commits"]
+                  for row in sqlcm.lat("Sentinel_LAT").rows())
+    assert commits >= total_queries
+
+    # --- machine-readable artifact ---------------------------------------
+    artifact = {
+        "experiment": "G1",
+        "config": {
+            "rules": N_RULES,
+            "conditions": N_CONDITIONS,
+            "storm_queries": STORM_QUERIES,
+            "calm_queries": CALM_QUERIES,
+            "statement_overhead": GOV_COSTS.statement_overhead,
+            "policy": {
+                "target_overhead": POLICY.target_overhead,
+                "exit_overhead": POLICY.exit_overhead,
+                "window": POLICY.window,
+                "cooldown": POLICY.cooldown,
+                "decision_interval": POLICY.decision_interval,
+                "sample_rate": POLICY.sample_rate,
+            },
+        },
+        "baseline_virtual_s": results["base"],
+        "ungoverned_overhead_pct": results["ungoverned_pct"],
+        "governed_overhead_pct": results["governed_pct"],
+        "envelope_pct": 4.0,
+        "state_overhead_ratio": per_state,
+        "state_virtual_time_s": {
+            state: t for state, t in governor.state_time.items() if t > 0.0},
+        "transitions": [
+            {"time": t.time, "from": t.from_state, "to": t.to_state,
+             "reason": t.reason, "measured": t.overhead_ratio,
+             "estimated": t.estimated_ratio}
+            for t in transitions
+        ],
+        "evals_sampled_out": governor.evals_sampled_out,
+        "evals_suspended": governor.evals_suspended,
+        "sample_digest": governor.sample_digest,
+    }
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n",
+                         encoding="utf-8")
+    report(f"wrote {_ARTIFACT.name}")
+
+
+def test_g1_governed_run_is_replay_stable(report, benchmark):
+    """Two identical governed runs sample the identical event subset."""
+    fingerprints: list[tuple] = []
+
+    def run_twice():
+        for __ in range(2):
+            __, sqlcm, governor = _run(governed=True)
+            fingerprints.append(_replay_fingerprint(sqlcm, governor))
+
+    benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert fingerprints[0] == fingerprints[1], \
+        "hash-based sampling must be a pure function of the event trace"
+    report("G1 replay: two governed runs bit-identical "
+           f"(digest {fingerprints[0][0]:#010x}, "
+           f"{fingerprints[0][1]} evals sampled out)")
+    if _ARTIFACT.exists():
+        data = json.loads(_ARTIFACT.read_text(encoding="utf-8"))
+        data["replay_stable"] = True
+        _ARTIFACT.write_text(json.dumps(data, indent=2) + "\n",
+                             encoding="utf-8")

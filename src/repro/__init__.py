@@ -35,10 +35,11 @@ Quickstart::
 """
 
 from repro.core import (SQLCM, AggSpec, AgingSpec, CancelAction,
-                        FaultInjector, FaultSpec, InsertAction,
-                        LATDefinition, OrderSpec, PersistAction,
-                        QuarantinePolicy, ResetAction, RetryPolicy, Rule,
-                        RunExternalAction, SendMailAction, SetTimerAction)
+                        FaultInjector, FaultSpec, GovernorPolicy,
+                        InsertAction, LATDefinition, OrderSpec,
+                        OverloadGovernor, PersistAction, QuarantinePolicy,
+                        ResetAction, RetryPolicy, Rule, RunExternalAction,
+                        SendMailAction, SetTimerAction)
 from repro.engine import (ColumnDef, DatabaseServer, IfStep, IndexDef,
                           ProcedureDef, ServerConfig, Session, Statement,
                           TableSchema)
@@ -65,6 +66,8 @@ __all__ = [
     "SetTimerAction",
     "FaultInjector",
     "FaultSpec",
+    "GovernorPolicy",
+    "OverloadGovernor",
     "QuarantinePolicy",
     "RetryPolicy",
     "DatabaseServer",

@@ -22,6 +22,10 @@ Besides SQL, the shell understands monitoring meta-commands:
 ``.queries``           recently completed queries (id, duration, text)
 ``.outbox``            SendMail deliveries
 ``.deadletters``       side-effect actions that exhausted their retries
+``.deadletters retry`` redeliver dead letters through the retry policy
+                       (poison entries are dropped after repeated failure)
+``.governor``          overload-governor status: ladder state, overhead
+                       ratio vs the < 4% envelope, suspended components
 ``.metrics``           observability snapshot: counters, gauges, latency
                        histograms, and the TOP OFFENDERS cost ranking
 ``.trace [N]``         last N trace spans (default 20)
@@ -201,12 +205,25 @@ class Shell:
             if not self.sqlcm.outbox:
                 self._print("  (empty)")
         elif command == ".deadletters":
-            for entry in self.sqlcm.dead_letters.entries():
+            journal = self.sqlcm.dead_letters
+            if len(parts) > 1 and parts[1].lower() == "retry":
+                report = journal.redeliver(self.sqlcm)
+                self._print(f"  redelivered {report.delivered}, "
+                            f"dropped {report.dropped} poison, "
+                            f"{report.remaining} remaining")
+                return
+            for entry in journal.entries():
                 self._print(f"  t={entry.time:.3f}s rule={entry.rule} "
                             f"{entry.payload} ({entry.attempts} attempts): "
                             f"{entry.error}")
-            if not self.sqlcm.dead_letters.depth:
+            if journal.dropped:
+                self._print(f"  ({journal.dropped} older entries dropped "
+                            f"from the ring)")
+            if not journal.depth:
                 self._print("  (empty)")
+        elif command == ".governor":
+            from repro.monitoring.report import governor_status
+            self._print(governor_status(self.sqlcm))
         elif command == ".metrics":
             self._show_metrics()
         elif command == ".trace":

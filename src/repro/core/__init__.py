@@ -15,11 +15,15 @@ from repro.core.actions import (CancelAction, InsertAction, PersistAction,
                                 ResetAction, RunExternalAction,
                                 SendMailAction, SetTimerAction)
 from repro.core.engine import SQLCM
+from repro.core.governor import (BEST_EFFORT, CRITICAL, GOV_ESSENTIAL,
+                                 GOV_NORMAL, GOV_SAMPLED, GOV_SHEDDING,
+                                 LADDER, GovernorPolicy, OverloadGovernor)
 from repro.core.lat import AggSpec, AgingSpec, LATDefinition, OrderSpec
 from repro.core.resilience import (DeadLetter, DeadLetterJournal,
                                    FaultInjector, FaultSpec,
-                                   QuarantinePolicy, RetryPolicy,
-                                   RuleHealth, RuleHealthRegistry)
+                                   QuarantinePolicy, RedeliveryReport,
+                                   RetryPolicy, RuleHealth,
+                                   RuleHealthRegistry)
 from repro.core.rules import Rule
 from repro.core.schema import SCHEMA
 
@@ -43,7 +47,17 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "QuarantinePolicy",
+    "RedeliveryReport",
     "RetryPolicy",
     "RuleHealth",
     "RuleHealthRegistry",
+    "GovernorPolicy",
+    "OverloadGovernor",
+    "BEST_EFFORT",
+    "CRITICAL",
+    "LADDER",
+    "GOV_NORMAL",
+    "GOV_SAMPLED",
+    "GOV_SHEDDING",
+    "GOV_ESSENTIAL",
 ]

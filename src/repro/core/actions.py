@@ -96,6 +96,9 @@ class InsertAction(Action):
         sqlcm.lat(self.lat_name)  # raises if missing
 
     def execute(self, sqlcm, rule, context, lat_rows) -> None:
+        governor = sqlcm.governor
+        if governor is not None and not governor.lat_allowed(self.lat_name):
+            return  # the overload governor suspended this LAT's maintenance
         lat = sqlcm.lat(self.lat_name)
         class_key = lat.definition.monitored_class.lower()
         obj = context.get(class_key)
@@ -114,7 +117,7 @@ class InsertAction(Action):
                 costs.lat_insert + 3 * costs.lat_latch
             )
             sqlcm.check_fault("lat.insert")
-            evicted = lat.insert(obj)
+            evicted = lat.insert(obj, sqlcm.sample_weight)
             if evicted:
                 sqlcm.server.add_monitor_cost(costs.lat_evict * len(evicted))
                 for row in evicted:

@@ -34,6 +34,20 @@ class AggregateFunction:
     def update(self, state: Any, value: Any) -> Any:
         raise NotImplementedError
 
+    def update_weighted(self, state: Any, value: Any, weight: int) -> Any:
+        """Update as if ``weight`` identical values arrived.
+
+        Used by the overload governor's sampling mode: an admitted
+        evaluation stands in for ``sample_rate`` events, so additive
+        aggregates (COUNT / SUM / AVG) scale the contribution by the
+        weight and stay unbiased in expectation.  Order/extreme statistics
+        (MIN / MAX / FIRST / LAST / STDEV) cannot be compensated by
+        scaling; this default applies the value once, so those aggregates
+        are *biased toward the sampled subset* while sampling is active —
+        see DESIGN.md section 9.
+        """
+        return self.update(state, value)
+
     def combine(self, left: Any, right: Any) -> Any:
         raise NotImplementedError
 
@@ -49,6 +63,9 @@ class CountAgg(AggregateFunction):
 
     def update(self, state, value):
         return state + (0 if value is None else 1)
+
+    def update_weighted(self, state, value, weight):
+        return state + (0 if value is None else weight)
 
     def combine(self, left, right):
         return left + right
@@ -67,6 +84,12 @@ class SumAgg(AggregateFunction):
         if value is None:
             return state
         return value if state is None else state + value
+
+    def update_weighted(self, state, value, weight):
+        if value is None:
+            return state
+        scaled = value * weight
+        return scaled if state is None else state + scaled
 
     def combine(self, left, right):
         if left is None:
@@ -90,6 +113,12 @@ class AvgAgg(AggregateFunction):
             return state
         count, total = state
         return (count + 1, total + value)
+
+    def update_weighted(self, state, value, weight):
+        if value is None:
+            return state
+        count, total = state
+        return (count + weight, total + value * weight)
 
     def combine(self, left, right):
         return (left[0] + right[0], left[1] + right[1])
@@ -280,16 +309,21 @@ class AgingState:
         while self.blocks and self.blocks[0][0] + self.spec.delta <= horizon:
             self.blocks.popleft()
 
-    def update(self, value: Any, now: float) -> None:
+    def update(self, value: Any, now: float, weight: int = 1) -> None:
         self._expire(now)
         block_start = math.floor(now / self.spec.delta) * self.spec.delta
         if self.blocks and self.blocks[-1][0] == block_start:
             start, state = self.blocks[-1]
-            self.blocks[-1] = (start, self.func.update(state, value))
+            self.blocks[-1] = (
+                start, self.func.update_weighted(state, value, weight)
+                if weight != 1 else self.func.update(state, value))
         else:
-            self.blocks.append(
-                (block_start, self.func.update(self.func.new_state(), value))
-            )
+            fresh = self.func.new_state()
+            self.blocks.append((
+                block_start,
+                self.func.update_weighted(fresh, value, weight)
+                if weight != 1 else self.func.update(fresh, value),
+            ))
 
     def result(self, now: float) -> Any:
         self._expire(now)

@@ -28,6 +28,7 @@ from collections import deque
 from typing import Any, Callable, Iterable
 
 from repro.core.condition import bind_condition
+from repro.core.governor import GovernorPolicy, OverloadGovernor
 from repro.core.lat import LAT, LATDefinition
 from repro.core.objects import MonitoredObject, ObjectFactory
 from repro.core.resilience import (CHECKSUM_COLUMN, DeadLetter,
@@ -58,9 +59,15 @@ class SQLCM:
     def __init__(self, server, schema: SQLCMSchema | None = None,
                  faults: FaultInjector | None = None,
                  quarantine: QuarantinePolicy | None = None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None,
+                 governor: GovernorPolicy | None = None):
         self.server = server
         self.schema = schema or SCHEMA
+        # overload governor (closed-loop degradation); off unless enabled
+        self.governor: OverloadGovernor | None = None
+        # weight the current rule evaluation carries into LAT inserts;
+        # > 1 only while a sampled evaluation stands in for skipped events
+        self.sample_weight: int = 1
         self.factory = ObjectFactory(self)
         self.timer_service = TimerService(self)
         self.rules: dict[str, Rule] = {}
@@ -98,6 +105,8 @@ class SQLCM:
                       "sqlcm.stream_alert"):
             server.events.subscribe(event, self._on_engine_event)
         server.events.subscribe("query.compile", self._on_compile)
+        if governor is not None:
+            self.enable_governor(governor)
 
     # ------------------------------------------------------------------
     # LAT management
@@ -186,6 +195,8 @@ class SQLCM:
         # the health record goes with the rule: a later rule reusing the
         # name must not inherit error counts or quarantine state
         self.health.drop(rule.name)
+        if self.governor is not None:
+            self.governor.forget_rule(rule.name)
         self.invalidate_signature_cache()
 
     def enable_rule(self, name: str, enabled: bool = True) -> None:
@@ -240,6 +251,33 @@ class SQLCM:
         return self.timer_service.set(name, interval, repeats)
 
     # ------------------------------------------------------------------
+    # overload governor
+    # ------------------------------------------------------------------
+
+    def enable_governor(self, policy: GovernorPolicy | None = None
+                        ) -> OverloadGovernor:
+        """Install the closed-loop overload governor.
+
+        Enables observability as a side effect: the governor's SHEDDING
+        state ranks components by the attribution layer's per-component
+        cost data.  Idempotent; returns the (possibly existing) governor.
+        """
+        if self.governor is None:
+            self.server.enable_observability()
+            self.governor = OverloadGovernor(self, policy)
+            self.server.attach_governor(self.governor)
+        return self.governor
+
+    def disable_governor(self) -> None:
+        """Remove the governor, releasing every suspension."""
+        governor = self.governor
+        if governor is not None:
+            governor.reset()
+            self.server.detach_governor()
+            self.governor = None
+            self.sample_weight = 1
+
+    # ------------------------------------------------------------------
     # continuous stream queries
     # ------------------------------------------------------------------
 
@@ -274,8 +312,12 @@ class SQLCM:
         """Drop the memoized ``signatures_needed`` flag.
 
         Called whenever the set of rules, LATs, or stream queries changes
-        (the only inputs the flag depends on besides the forced switch)."""
+        (the only inputs the flag depends on besides the forced switch).
+        The governor's cached criticality map depends on the same inputs
+        and is invalidated alongside."""
         self._signatures_needed_cache = None
+        if self.governor is not None:
+            self.governor.invalidate_components()
 
     @property
     def signatures_needed(self) -> bool:
@@ -403,6 +445,8 @@ class SQLCM:
             )
 
     def _process_event(self, event: str, payload: dict) -> None:
+        if self.governor is not None:
+            self.governor.on_event(event)
         rules = self._rules_by_event.get(event)
         if not rules:
             return
@@ -432,6 +476,7 @@ class SQLCM:
         if context is None:
             return
         now = self.server.clock.now
+        governor = self.governor
         for rule in list(rules):
             if not rule.enabled:
                 continue
@@ -439,9 +484,24 @@ class SQLCM:
                 self.server.add_monitor_cost(costs.quarantine_check)
                 if not self.health.allow(rule.name, now):
                     continue
+                if governor is not None:
+                    admitted, weight = governor.admit(rule, event)
+                    if not admitted:
+                        continue
                 with obs.span(f"rule:{rule.name}", "rule", event=event):
                     try:
-                        self._evaluate_rule(rule, context)
+                        if governor is None:
+                            self._evaluate_rule(rule, context)
+                        else:
+                            cost_before = self.server.monitor_cost_total
+                            self.sample_weight = weight
+                            try:
+                                self._evaluate_rule(rule, context)
+                            finally:
+                                self.sample_weight = 1
+                            governor.note_eval(
+                                rule.name,
+                                self.server.monitor_cost_total - cost_before)
                     except Exception as err:
                         # isolation backstop: scope iteration / context
                         # assembly failures
@@ -494,6 +554,8 @@ class SQLCM:
             return {"rulefailure": factory.rule_failure(payload)}
         if event == "sqlcm.stream_alert":
             return {"streamalert": factory.stream_alert(payload)}
+        if event == "sqlcm.governor_transition":
+            return {"governor": factory.governor_transition(payload)}
         return {}
 
     def _iterate_class(self, class_name: str) -> list[MonitoredObject]:

@@ -21,6 +21,7 @@ from typing import Any, Iterable
 
 from repro.core.aggregates import (AggregateFunction, AgingSpec, AgingState,
                                    aggregate_function)
+from repro.core.governor import validate_criticality
 from repro.core.objects import MonitoredObject
 from repro.errors import LATError
 
@@ -108,10 +109,12 @@ class LATDefinition:
     ordering: list = field(default_factory=list)
     max_rows: int | None = None
     max_bytes: int | None = None
+    criticality: str = "normal"
 
     def __post_init__(self):
         if not self.name or not self.name.replace("_", "").isalnum():
             raise LATError(f"invalid LAT name {self.name!r}")
+        self.criticality = validate_criticality(self.criticality)
         self.grouping = [_parse_group(g) for g in self.grouping]
         self.aggregations = [_parse_agg(a) for a in self.aggregations]
         if not self.grouping:
@@ -225,8 +228,13 @@ class LAT:
                 return source[key]
         return None
 
-    def insert(self, source: "MonitoredObject | dict") -> list[dict]:
+    def insert(self, source: "MonitoredObject | dict",
+               weight: int = 1) -> list[dict]:
         """Insert-or-update the row matching the object's group key.
+
+        ``weight`` > 1 means this object stands in for ``weight`` sampled
+        events (overload-governor compensation): COUNT/SUM/AVG scale the
+        contribution; order/extreme aggregates apply the value once.
 
         Returns the rows evicted to satisfy the size constraint (possibly
         including the row just inserted), as column dicts.
@@ -251,7 +259,10 @@ class LAT:
                 zip(self.definition.aggregations, self._functions)):
             value = self._value(source, spec.attr)
             if isinstance(row.states[i], AgingState):
-                row.states[i].update(value, now)
+                row.states[i].update(value, now, weight)
+            elif weight != 1:
+                row.states[i] = func.update_weighted(
+                    row.states[i], value, weight)
             else:
                 row.states[i] = func.update(row.states[i], value)
         row.importance = None  # aggregates changed; importance is stale
@@ -495,12 +506,12 @@ class NaiveListLAT(LAT):
     benchmark to show why the structure matters.
     """
 
-    def insert(self, source) -> list[dict]:
+    def insert(self, source, weight: int = 1) -> list[dict]:
         key = self.key_of(source)
         for candidate in list(self._rows):  # linear membership probe
             if candidate == key:
                 break
-        evicted = super().insert(source)
+        evicted = super().insert(source, weight)
         # full re-sort after every insert (the naive ordered structure)
         now = self._clock.now
         sorted(self._rows.values(),

@@ -235,3 +235,19 @@ class ObjectFactory:
             "quarantined": payload.get("quarantined", False),
             "current_time": payload.get("time"),
         }, source=payload)
+
+    # -- governor transitions (meta-monitoring) ----------------------------------
+
+    def governor_transition(self, payload: dict[str, Any]) -> MonitoredObject:
+        """Wrap one overload-governor ladder transition
+        (the ``sqlcm.governor_transition`` event)."""
+        cls = self._sqlcm.schema.monitored_class("Governor")
+        return MonitoredObject(cls, {}, extra={
+            "from_state": payload.get("from_state"),
+            "to_state": payload.get("to_state"),
+            "reason": payload.get("reason"),
+            "overhead_ratio": payload.get("overhead_ratio"),
+            "estimated_ratio": payload.get("estimated_ratio"),
+            "suspended_count": payload.get("suspended_count", 0),
+            "current_time": payload.get("time"),
+        }, source=payload)

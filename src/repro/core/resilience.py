@@ -278,13 +278,38 @@ class DeadLetter:
     lat_rows: Any = field(default=None, repr=False)
 
 
-class DeadLetterJournal:
-    """Journal of side effects that exhausted their retry budget."""
+@dataclass
+class RedeliveryReport:
+    """Outcome of one :meth:`DeadLetterJournal.redeliver` sweep."""
 
-    def __init__(self):
+    delivered: int = 0
+    dropped: int = 0
+    remaining: int = 0
+
+
+class DeadLetterJournal:
+    """Bounded ring journal of side effects that exhausted their retries.
+
+    The journal holds at most ``capacity`` entries: under a persistent
+    action outage the oldest entries are displaced (counted in
+    :attr:`dropped`) rather than letting the journal grow without limit.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("dead-letter capacity must be positive")
+        self.capacity = capacity
         self._entries: list[DeadLetter] = []
+        #: oldest entries displaced by the ring bound
+        self.dropped = 0
+        #: entries discarded as poison by :meth:`redeliver`
+        self.poison_dropped = 0
 
     def append(self, entry: DeadLetter) -> None:
+        if len(self._entries) >= self.capacity:
+            overflow = len(self._entries) - self.capacity + 1
+            del self._entries[:overflow]
+            self.dropped += overflow
         self._entries.append(entry)
 
     def entries(self, rule: str | None = None) -> list[DeadLetter]:
@@ -325,6 +350,49 @@ class DeadLetterJournal:
                 remaining.append(entry)
         self._entries = remaining
         return delivered
+
+    def redeliver(self, sqlcm, drop_after: int = 9) -> RedeliveryReport:
+        """Replay every entry through the engine's :class:`RetryPolicy`.
+
+        Unlike :meth:`replay` (one bare attempt per entry), each entry
+        gets a full fresh retry cycle — up to ``retry_policy.max_attempts``
+        attempts with exponential backoff charged to the monitor-cost pool,
+        exactly like first-time delivery.  Entries whose *cumulative*
+        attempt count reaches ``drop_after`` are discarded as poison
+        (counted in :attr:`poison_dropped`) so a permanently broken sink
+        cannot clog the journal forever.
+        """
+        policy = sqlcm.retry_policy
+        server = sqlcm.server
+        remaining: list[DeadLetter] = []
+        report = RedeliveryReport()
+        for entry in self._entries:
+            if entry.action_obj is None:
+                remaining.append(entry)
+                continue
+            delivered = False
+            for attempt in range(1, max(1, policy.max_attempts) + 1):
+                if attempt > 1:
+                    server.add_monitor_cost(policy.delay_before(attempt))
+                entry.attempts += 1
+                try:
+                    entry.action_obj.execute(
+                        sqlcm, None, entry.context or {},
+                        entry.lat_rows or {})
+                    delivered = True
+                    break
+                except Exception as err:  # still undeliverable
+                    entry.error = f"{type(err).__name__}: {err}"
+            if delivered:
+                report.delivered += 1
+            elif entry.attempts >= drop_after:
+                report.dropped += 1
+                self.poison_dropped += 1
+            else:
+                remaining.append(entry)
+        self._entries = remaining
+        report.remaining = len(remaining)
+        return report
 
     def snapshot(self) -> tuple:
         return tuple((e.time, e.rule, e.action, e.payload, e.error,

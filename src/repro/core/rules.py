@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.governor import validate_criticality
 from repro.errors import RuleError
 
 
@@ -21,7 +22,9 @@ class Rule:
     ``event`` has the form ``Class.Event`` (``"Query.Commit"``,
     ``"Timer.Alert"``).  ``condition`` is condition-language text or None
     (always fire).  ``actions`` is a non-empty ordered list of action
-    objects from :mod:`repro.core.actions`.
+    objects from :mod:`repro.core.actions`.  ``criticality`` classes the
+    rule for the overload governor (``critical`` rules are never sampled
+    or shed; ``best_effort`` rules are shed first).
     """
 
     name: str
@@ -29,6 +32,7 @@ class Rule:
     actions: list[Any]
     condition: str | None = None
     enabled: bool = True
+    criticality: str = "normal"
 
     # bound by SQLCM.add_rule
     event_class: Any = field(default=None, repr=False)
@@ -44,6 +48,7 @@ class Rule:
             raise RuleError("rule needs a name")
         if not self.actions:
             raise RuleError(f"rule {self.name!r} needs at least one action")
+        self.criticality = validate_criticality(self.criticality)
 
     @property
     def atomic_condition_count(self) -> int:

@@ -281,8 +281,31 @@ STREAM_ALERT_CLASS = MonitoredClassDef(
               "(ECA rules can close the loop on stream output)")],
 )
 
+GOVERNOR_CLASS = MonitoredClassDef(
+    "Governor",
+    [
+        AttributeDef("From_State", SQLType.STRING,
+                     "ladder state before the transition"),
+        AttributeDef("To_State", SQLType.STRING,
+                     "ladder state after the transition"),
+        AttributeDef("Reason", SQLType.STRING, "escalate | recover"),
+        AttributeDef("Overhead_Ratio", SQLType.FLOAT,
+                     "measured rolling overhead ratio at decision time"),
+        AttributeDef("Estimated_Ratio", SQLType.FLOAT,
+                     "estimated ungoverned ratio (measured + skipped-cost "
+                     "estimate)"),
+        AttributeDef("Suspended_Count", SQLType.INTEGER,
+                     "components suspended after the transition"),
+        AttributeDef("Current_Time", SQLType.DATETIME,
+                     "virtual time of the transition"),
+    ],
+    [EventDef("Transition", "sqlcm.governor_transition",
+              "the overload governor moved along the degradation ladder "
+              "(meta-monitoring: rules can watch the governor)")],
+)
+
 SCHEMA = SQLCMSchema([
     QUERY_CLASS, TRANSACTION_CLASS, BLOCKER_CLASS, BLOCKED_CLASS,
     SESSION_CLASS, TIMER_CLASS, EVICTED_ROW_CLASS, RULE_FAILURE_CLASS,
-    STREAM_ALERT_CLASS,
+    STREAM_ALERT_CLASS, GOVERNOR_CLASS,
 ])

@@ -25,6 +25,7 @@ class TimerObject:
     interval: float = 0.0
     remaining: int = 0
     generation: int = 0  # bumped by Set(); stale processes exit
+    overruns: int = 0  # alarms coalesced because rule work outran the interval
 
     @property
     def enabled(self) -> bool:
@@ -64,8 +65,11 @@ class TimerService:
     def _timer_process(self, timer: TimerObject,
                        generation: int) -> Iterator:
         server = self._sqlcm.server
+        # alarms follow an absolute schedule from arm time, so a slow alert
+        # does not drift the whole series
+        due = server.clock.now + timer.interval
         while timer.generation == generation and timer.enabled:
-            yield Delay(timer.interval)
+            yield Delay(max(0.0, due - server.clock.now))
             if timer.generation != generation or not timer.enabled:
                 return
             with server.obs.attrib("engine", "timer"):
@@ -81,3 +85,19 @@ class TimerService:
             yield Delay(server.take_monitor_cost())
             if timer.remaining > 0:
                 timer.remaining -= 1
+            due += timer.interval
+            # overrun coalescing: when the alert's own rule work ran past
+            # one or more subsequent deadlines, skip the missed alarms in
+            # one step — a backlog of instantly-due alarms would only add
+            # more work to an already overloaded series
+            now = server.clock.now
+            if timer.enabled and now >= due:
+                missed = int((now - due) // timer.interval) + 1
+                if timer.remaining > 0:
+                    missed = min(missed, timer.remaining)
+                if missed > 0:
+                    timer.overruns += missed
+                    server.obs.count("sqlcm.timer.overruns", missed)
+                    due += missed * timer.interval
+                    if timer.remaining > 0:
+                        timer.remaining -= missed

@@ -81,6 +81,7 @@ class DatabaseServer:
         self._pending_monitor_cost = 0.0
         self.monitor_cost_total = 0.0
         self._obs: Observability | None = None
+        self._governor = None  # attached by SQLCM.enable_governor
         self._memory_reservations: dict[str, int] = {}
         self._authenticator = None
         self.login_failures = 0
@@ -230,9 +231,26 @@ class DatabaseServer:
             self._obs.account(seconds)
 
     def take_monitor_cost(self) -> float:
+        # the drain is where monitoring cost turns into virtual time, so it
+        # is where the overload governor's feedback loop closes; observing
+        # first lets the observation's own charge ride this same drain
+        governor = self._governor
+        if governor is not None:
+            governor.observe(self.clock.now)
         cost = self._pending_monitor_cost
         self._pending_monitor_cost = 0.0
         return cost
+
+    def attach_governor(self, governor) -> None:
+        """Hook the overload governor into the cost-drain path."""
+        self._governor = governor
+
+    def detach_governor(self) -> None:
+        self._governor = None
+
+    @property
+    def governor(self):
+        return self._governor
 
     # -- self-observability -----------------------------------------------------
 

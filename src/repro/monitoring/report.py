@@ -254,6 +254,47 @@ def top_offenders(server, sqlcm, limit: int = 10) -> str:
     return "\n".join(lines)
 
 
+def governor_status(sqlcm) -> str:
+    """Overload-governor state: ladder position, overhead ratios, sheds."""
+    lines = ["OVERLOAD GOVERNOR", ""]
+    governor = sqlcm.governor
+    if governor is None:
+        lines.append("governor is disabled "
+                     "(sqlcm.enable_governor() to activate)")
+        return "\n".join(lines)
+    info = governor.describe()
+    policy = governor.policy
+    lines.append(f"state: {info['state']}")
+    lines.append(f"overhead: measured {info['overhead_ratio'] * 100:.2f}%  "
+                 f"estimated-ungoverned "
+                 f"{info['estimated_ratio'] * 100:.2f}%  "
+                 f"(target {policy.target_overhead * 100:.1f}%, "
+                 f"recover below {policy.exit_overhead * 100:.1f}%)")
+    lines.append(f"evals sampled out: {info['evals_sampled_out']}  "
+                 f"evals suspended: {info['evals_suspended']}  "
+                 f"inserts shed: {info['inserts_shed']}  "
+                 f"sample rate 1/{policy.sample_rate}")
+    suspended = info["suspended"]
+    if suspended:
+        lines.append("")
+        lines += _table(
+            ["suspended component"], [(name,) for name in suspended],
+        )
+    transitions = governor.transitions[-5:]
+    if transitions:
+        lines.append("")
+        lines += _table(
+            ["time", "transition", "reason", "measured", "estimated"],
+            [
+                (f"{t.time:.3f}s", f"{t.from_state} -> {t.to_state}",
+                 t.reason, f"{t.overhead_ratio * 100:.2f}%",
+                 f"{t.estimated_ratio * 100:.2f}%")
+                for t in transitions
+            ],
+        )
+    return "\n".join(lines)
+
+
 def full_report(server, sqlcm) -> str:
     """Everything a DBA checks first."""
     sections = [
@@ -264,6 +305,8 @@ def full_report(server, sqlcm) -> str:
     ]
     if sqlcm.has_streams:
         sections.append(stream_activity(sqlcm))
+    if sqlcm.governor is not None:
+        sections.append(governor_status(sqlcm))
     if server.observability_enabled:
         sections.append(top_offenders(server, sqlcm))
     return ("\n\n" + "=" * 60 + "\n\n").join(sections)

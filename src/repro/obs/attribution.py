@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Iterable
 
 #: valid attribution kinds, in report order
-KINDS = ("rule", "lat", "stream", "engine")
+KINDS = ("rule", "lat", "stream", "governor", "engine")
 
 #: bucket for charges arriving with no open attribution context
 UNATTRIBUTED = ("engine", "unattributed")

@@ -107,6 +107,14 @@ class CostModel:
     obs_span: float = 0.01e-6
     obs_metric: float = 0.002e-6
 
+    # --- overload governor -------------------------------------------------
+    # the feedback controller must cost less than what it saves: one
+    # observation is a clock read + deque append, one admission check is a
+    # CRC over a short name, one decision is a window scan + a few ratios
+    governor_observe: float = 0.02e-6
+    governor_admit: float = 0.002e-6
+    governor_decision: float = 2e-6
+
     # --- fault isolation (resilience layer) -------------------------------
     # catching + recording one rule failure; a per-rule quarantine-state
     # check is a flag read (~1ns); checksums are a CRC over one row

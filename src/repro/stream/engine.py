@@ -31,6 +31,7 @@ from collections import deque
 from typing import Any
 
 from repro.core.aggregates import aggregate_function
+from repro.core.governor import validate_criticality
 from repro.core.resilience import (QuarantinePolicy, RuleHealthRegistry,
                                    register_fault_sites)
 from repro.errors import StreamError
@@ -49,9 +50,10 @@ class StreamQuery:
     """One registered continuous query: spec + window state + operators."""
 
     def __init__(self, spec: StreamSpec, sink_lat: str | None = None,
-                 max_alerts: int = 256):
+                 max_alerts: int = 256, criticality: str = "normal"):
         self.spec = spec
         self.sink_lat = sink_lat
+        self.criticality = validate_criticality(criticality)
         self.window = WindowState(
             spec.window, [aggregate_function(a.func) for a in spec.aggs])
         self.deviation: DeviationOperator | None = None
@@ -116,7 +118,8 @@ class StreamEngine:
 
     def register(self, text: str, *, name: str | None = None,
                  sink_lat: str | None = None,
-                 max_alerts: int = 256) -> StreamQuery:
+                 max_alerts: int = 256,
+                 criticality: str = "normal") -> StreamQuery:
         """Parse, validate, and activate one stream query."""
         spec = parse_stream_query(text, name=name, schema=self._sqlcm.schema)
         key = spec.name.lower()
@@ -129,7 +132,8 @@ class StreamEngine:
                     f"sink LAT {sink_lat!r} must be defined over the "
                     f"StreamAlert class, not "
                     f"{lat.definition.monitored_class!r}")
-        query = StreamQuery(spec, sink_lat=sink_lat, max_alerts=max_alerts)
+        query = StreamQuery(spec, sink_lat=sink_lat, max_alerts=max_alerts,
+                            criticality=criticality)
         self._queries[key] = query
         self._by_event.setdefault(spec.engine_event, []).append(query)
         if spec.engine_event not in self._subscribed:
@@ -143,6 +147,8 @@ class StreamEngine:
         if query is None:
             raise StreamError(f"unknown stream query {name!r}")
         self._by_event[query.spec.engine_event].remove(query)
+        if self._sqlcm.governor is not None:
+            self._sqlcm.governor.forget_stream(query.spec.name)
         self._sqlcm.invalidate_signature_cache()
 
     def query(self, name: str) -> StreamQuery:
@@ -198,6 +204,7 @@ class StreamEngine:
         if not self._in_emit:
             self._flush(now)
         obs = self.server.obs
+        governor = self._sqlcm.governor
         context: dict | None = None
         built = False
         for query in list(queries):
@@ -205,6 +212,8 @@ class StreamEngine:
             if not query.enabled:
                 continue
             if not self.health.allow(query.spec.name, now):
+                continue
+            if governor is not None and not governor.admit_stream(query):
                 continue
             with obs.attrib("stream", query.spec.name):
                 try:
@@ -378,7 +387,11 @@ class StreamEngine:
         query.alert_count += 1
         self.alerts_published += 1
         self.server.obs.count("sqlcm.stream.alerts")
-        if query.sink_lat is not None and self._sqlcm.has_lat(query.sink_lat):
+        governor = self._sqlcm.governor
+        if query.sink_lat is not None \
+                and self._sqlcm.has_lat(query.sink_lat) \
+                and (governor is None
+                     or governor.lat_allowed(query.sink_lat)):
             lat = self._sqlcm.lat(query.sink_lat)
             self.server.add_monitor_cost(
                 costs.lat_insert + 3 * costs.lat_latch)

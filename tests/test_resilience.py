@@ -551,6 +551,119 @@ class TestDeterminism:
         assert self._faulty_run() == self._faulty_run()
 
 
+class TestDeadLetterRing:
+    def test_journal_is_ring_bounded(self):
+        from repro.core.resilience import DeadLetter, DeadLetterJournal
+        journal = DeadLetterJournal(capacity=3)
+        for i in range(5):
+            journal.append(DeadLetter(
+                time=float(i), rule=f"r{i}", action="A",
+                payload=str(i), error="down", attempts=3))
+        assert journal.depth == 3
+        assert journal.dropped == 2
+        # oldest entries were displaced, newest survive
+        assert [e.rule for e in journal.entries()] == ["r2", "r3", "r4"]
+
+    def test_invalid_capacity_rejected(self):
+        from repro.core.resilience import DeadLetterJournal
+        with pytest.raises(ValueError):
+            DeadLetterJournal(capacity=0)
+
+    def test_snapshot_includes_drop_counters(self):
+        from repro.core.resilience import DeadLetter, DeadLetterJournal
+        journal = DeadLetterJournal(capacity=1)
+        for i in range(2):
+            journal.append(DeadLetter(
+                time=float(i), rule="r", action="A",
+                payload=str(i), error="down", attempts=3))
+        assert journal.dropped == 1
+
+
+class TestRedelivery:
+    def _dead_letter_one(self, server, sqlcm):
+        session = _items(server)
+        sqlcm.external_handler = lambda cmd: (_ for _ in ()).throw(
+            ConnectionError("down"))
+        sqlcm.add_rule(Rule(name="notify", event="Query.Commit",
+                            actions=[RunExternalAction("ping {Query.ID}")]))
+        session.execute("SELECT price FROM items WHERE id = 1")
+        assert sqlcm.dead_letters.depth == 1
+        return session
+
+    def test_redeliver_after_sink_recovers(self, server, sqlcm):
+        self._dead_letter_one(server, sqlcm)
+        delivered = []
+        sqlcm.external_handler = delivered.append
+        report = sqlcm.dead_letters.redeliver(sqlcm)
+        assert report.delivered == 1
+        assert report.dropped == 0
+        assert report.remaining == 0
+        assert sqlcm.dead_letters.depth == 0
+        assert len(delivered) == 1 and delivered[0].startswith("ping ")
+
+    def test_redeliver_retries_transient_failures_within_the_sweep(
+            self, server, sqlcm):
+        self._dead_letter_one(server, sqlcm)
+        calls = []
+
+        def flaky(cmd):
+            calls.append(cmd)
+            if len(calls) < 2:
+                raise ConnectionError("still warming up")
+
+        sqlcm.external_handler = flaky
+        report = sqlcm.dead_letters.redeliver(sqlcm)
+        # one redelivery sweep is a full retry cycle, not a single attempt
+        assert len(calls) == 2
+        assert report.delivered == 1
+        assert sqlcm.dead_letters.depth == 0
+
+    def test_redeliver_backoff_charges_virtual_time(self, server):
+        retry = RetryPolicy(max_attempts=3, base_delay=0.5, backoff=2.0)
+        sqlcm = SQLCM(server, retry=retry)
+        self._dead_letter_one(server, sqlcm)
+        sqlcm.dead_letters.redeliver(sqlcm)  # sink still down
+        # 0.5s before attempt 2 and 1.0s before attempt 3 land in the pool
+        assert server.take_monitor_cost() >= 1.5
+
+    def test_poison_entry_dropped_after_cumulative_attempts(
+            self, server, sqlcm):
+        self._dead_letter_one(server, sqlcm)
+        # sink stays down: each sweep adds max_attempts to the entry
+        report = None
+        for __ in range(4):
+            report = sqlcm.dead_letters.redeliver(sqlcm, drop_after=9)
+            if report.dropped:
+                break
+        assert report is not None and report.dropped == 1
+        assert sqlcm.dead_letters.depth == 0
+        assert sqlcm.dead_letters.poison_dropped == 1
+
+    def test_cli_deadletters_retry_verb(self):
+        import io
+        from repro.cli import Shell
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.sqlcm.external_handler = lambda cmd: (_ for _ in ()).throw(
+            ConnectionError("down"))
+        shell.sqlcm.add_rule(Rule(
+            name="notify", event="Query.Commit",
+            actions=[RunExternalAction("ping")]))
+        shell.run_script(
+            "CREATE TABLE t (a INT PRIMARY KEY);"
+            "INSERT INTO t VALUES (1);"
+            "SELECT a FROM t;"
+        )
+        depth = shell.sqlcm.dead_letters.depth
+        assert depth > 0
+        delivered = []
+        shell.sqlcm.external_handler = delivered.append
+        shell.execute_line(".deadletters retry")
+        assert f"redelivered {depth}" in out.getvalue()
+        assert delivered == ["ping"] * depth
+        assert shell.sqlcm.dead_letters.depth == 0
+
+
 class TestDispatchQueueHygiene:
     def test_stale_queue_cleared_when_processing_raises(
             self, server, sqlcm, monkeypatch):

@@ -104,6 +104,63 @@ class TestTimerService:
         with pytest.raises(ActionError):
             SetTimerAction("t", interval=-1.0, repeats=2).validate(None, None)
 
+    def test_overrunning_alert_work_coalesces_missed_alarms(self, monitored):
+        """Rule work outrunning the interval skips deadlines in one step."""
+        server, sqlcm = monitored
+        times = []
+
+        def slow_alert(s, c):
+            times.append(round(server.clock.now, 3))
+            s.server.add_monitor_cost(1.2)  # 1.2s of work per 0.5s alarm
+
+        sqlcm.add_rule(Rule(name="tick", event="Timer.Alert",
+                            actions=[CallbackAction(slow_alert)]))
+        sqlcm.set_timer("t", interval=0.5, repeats=-1)
+        server.run(until=6.0)
+        # fire at 0.5 ends at 1.7: alarms due 1.0 and 1.5 are coalesced,
+        # the series resumes at 2.0 — never a burst of instantly-due alarms
+        assert times == [0.5, 2.0, 3.5, 5.0]
+        timer = sqlcm.timer_service.get("t")
+        assert timer.overruns >= 6  # two missed alarms per completed fire
+
+    def test_coalesced_alarms_consume_finite_repeats(self, monitored):
+        server, sqlcm = monitored
+        times = []
+
+        def slow_alert(s, c):
+            times.append(round(server.clock.now, 3))
+            s.server.add_monitor_cost(1.2)
+
+        sqlcm.add_rule(Rule(name="tick", event="Timer.Alert",
+                            actions=[CallbackAction(slow_alert)]))
+        sqlcm.set_timer("t", interval=0.5, repeats=4)
+        server.run(until=20.0)
+        # fire #1 at 0.5 consumes one repeat, its overrun coalesces two
+        # more; fire #2 at 2.0 consumes the last repeat
+        assert times == [0.5, 2.0]
+        assert sqlcm.timer_service.get("t").overruns == 2
+
+    def test_overruns_counted_in_metrics(self, monitored):
+        server, sqlcm = monitored
+        server.enable_observability()
+        sqlcm.add_rule(Rule(
+            name="tick", event="Timer.Alert",
+            actions=[CallbackAction(
+                lambda s, c: s.server.add_monitor_cost(1.2))],
+        ))
+        sqlcm.set_timer("t", interval=0.5, repeats=4)
+        server.run(until=20.0)
+        snap = server.obs.metrics.snapshot()
+        assert snap["counters"].get("sqlcm.timer.overruns") == 2
+
+    def test_fast_alert_work_never_overruns(self, monitored):
+        server, sqlcm = monitored
+        sqlcm.add_rule(Rule(name="tick", event="Timer.Alert",
+                            actions=[CallbackAction(lambda s, c: None)]))
+        sqlcm.set_timer("t", interval=1.0, repeats=5)
+        server.run(until=10.0)
+        assert sqlcm.timer_service.get("t").overruns == 0
+
     def test_timer_rule_cost_charged_in_background(self, monitored):
         """Timer rule work advances the clock via the timer's own process."""
         server, sqlcm = monitored
