@@ -1,0 +1,92 @@
+"""C1: chaos drill suite — closed-loop recovery under injected failures.
+
+Not a paper experiment — this bench guards the robustness extension built
+on the paper's machinery: the monitoring rules, stream queries, and
+governor that Sections 3-5 reproduce are wired into a closed loop
+(incident manager + auto-remediator), and each registered chaos scenario
+injects one failure mode the loop must detect, remediate, and fully
+recover from:
+
+* ``blocking_storm``     — a blocking chain; blocked blockers cancelled;
+* ``deadlock_cascade``   — deadlock waves; engine self-heals, the stream
+  HAVING alert opens the incident, remediation stays idle;
+* ``runaway_query``      — a long-blocked reader cancelled by duration;
+* ``hot_row_contention`` — a write convoy that exhausts the remediation
+  budget (honest-failure + suppression path);
+* ``overload_spike``     — a hostile rule breaches the 4% envelope; the
+  governor reacts and the remediator quarantines the hog rule.
+
+For every scenario the bench asserts full recovery (incident resolved,
+lock graph empty, overhead inside the scenario ceiling) and reports
+time-to-detect / time-to-remediate / time-to-recover.  The whole suite is
+run twice with the same seed and must be bit-identical per the chaos
+determinism contract (``timeline_digest`` plus the full result dict).
+
+Writes ``BENCH_chaos.json`` (per-scenario recovery timings, remediation
+outcomes, and digests) next to the repo's other bench artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import quick
+from repro.chaos import SCENARIOS, run_suite
+
+#: quick mode shrinks each scenario's optional load (victim count,
+#: deadlock waves, spike volume), not its core failure shape — the
+#: recovery assertions stay identical either way.
+QUICK_DRILLS = quick(False, True)
+SEED = 1301
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+
+def test_c1_chaos_suite_recovers(report, benchmark):
+    results: dict = {}
+
+    def run_twice():
+        results["first"] = run_suite(seed=SEED, quick=QUICK_DRILLS)
+        results["second"] = run_suite(seed=SEED, quick=QUICK_DRILLS)
+
+    benchmark.pedantic(run_twice, rounds=1, iterations=1)
+
+    first, second = results["first"], results["second"]
+    assert set(first) == set(SCENARIOS), "a registered drill did not run"
+
+    lines = [
+        "C1: chaos drill suite (seed %d%s)"
+        % (SEED, ", quick" if QUICK_DRILLS else ""),
+        f"{'scenario':<20} {'detect':>7} {'remediate':>9} "
+        f"{'recover':>8}  outcomes",
+    ]
+    artifact = {"seed": SEED, "quick": QUICK_DRILLS, "scenarios": {}}
+    for name, result in first.items():
+        # --- recovery invariants (per scenario) --------------------------
+        assert result.ok, f"{name} failed: {result.failures}"
+        assert result.time_to_detect is not None, f"{name}: never detected"
+        assert result.time_to_recover is not None, f"{name}: never recovered"
+        assert result.time_to_detect <= result.time_to_recover
+        # remediation, where attempted, must not precede detection
+        if result.time_to_remediate is not None:
+            assert result.time_to_detect <= result.time_to_remediate
+
+        # --- determinism: second run is bit-identical --------------------
+        assert result.timeline_digest == second[name].timeline_digest, \
+            f"{name}: same-seed runs produced different incident timelines"
+        assert result.to_dict() == second[name].to_dict(), \
+            f"{name}: same-seed runs diverged outside the timeline"
+
+        outcomes = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.remediation_outcomes.items())
+        ) or "none"
+        remediate = ("%7.2fs" % result.time_to_remediate
+                     if result.time_to_remediate is not None else "      -")
+        lines.append(
+            f"{name:<20} {result.time_to_detect:>6.2f}s {remediate:>9} "
+            f"{result.time_to_recover:>7.2f}s  {outcomes}")
+        artifact["scenarios"][name] = result.to_dict()
+
+    report(*lines)
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True))

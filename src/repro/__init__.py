@@ -35,10 +35,12 @@ Quickstart::
 """
 
 from repro.core import (SQLCM, AggSpec, AgingSpec, CancelAction,
-                        FaultInjector, FaultSpec, GovernorPolicy,
-                        InsertAction, LATDefinition, OrderSpec,
-                        OverloadGovernor, PersistAction, QuarantinePolicy,
-                        ResetAction, RetryPolicy, Rule, RunExternalAction,
+                        CancelBlockerAction, FaultInjector, FaultSpec,
+                        GovernorPolicy, IncidentManager, IncidentPolicy,
+                        InsertAction, LATDefinition, OpenIncidentAction,
+                        OrderSpec, OverloadGovernor, PersistAction,
+                        QuarantinePolicy, QuarantineRuleAction, ResetAction,
+                        ResetLATAction, RetryPolicy, Rule, RunExternalAction,
                         SendMailAction, SetTimerAction)
 from repro.engine import (ColumnDef, DatabaseServer, IfStep, IndexDef,
                           ProcedureDef, ServerConfig, Session, Statement,
@@ -64,6 +66,12 @@ __all__ = [
     "RunExternalAction",
     "CancelAction",
     "SetTimerAction",
+    "IncidentManager",
+    "IncidentPolicy",
+    "OpenIncidentAction",
+    "CancelBlockerAction",
+    "QuarantineRuleAction",
+    "ResetLATAction",
     "FaultInjector",
     "FaultSpec",
     "GovernorPolicy",

@@ -11,9 +11,13 @@ Each class wires up the LATs and ECA rules for one DBA task:
   persisted periodically by a timer.
 * :class:`ResourceGovernor` — Example 5: runaway-query cancellation and
   per-user concurrency (MPL) limits.
+* :class:`AutoRemediator` — closed-loop remediation: blocking / runaway /
+  overload detection rules wired to guarded fixes through the incident
+  subsystem (beyond the paper; see DESIGN.md Section 10).
 """
 
 from repro.apps.auditing import LoginAuditor, UsageAuditor
+from repro.apps.auto_remediation import AutoRemediator
 from repro.apps.blocking import BlockingAnalyzer
 from repro.apps.outliers import OutlierDetector, StreamOutlierDetector
 from repro.apps.resource_governor import (AdaptiveMPLGovernor,
@@ -22,6 +26,7 @@ from repro.apps.stats_corrector import StatsCorrector
 from repro.apps.topk import TopKTracker
 
 __all__ = [
+    "AutoRemediator",
     "OutlierDetector",
     "StreamOutlierDetector",
     "BlockingAnalyzer",

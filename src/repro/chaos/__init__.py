@@ -1,0 +1,49 @@
+"""Chaos scenario suite: seeded operational-failure drills.
+
+Each :class:`~repro.chaos.scenarios.ChaosScenario` scripts one concrete
+kind of production trouble (a blocking storm, a deadlock cascade, a
+runaway query, hot-row contention, a monitoring-overhead spike) against a
+fresh server + SQLCM instance, with the incident subsystem and
+:class:`~repro.apps.auto_remediation.AutoRemediator` standing guard.  The
+:class:`~repro.chaos.harness.ChaosHarness` drives the virtual clock,
+measures time-to-detect / time-to-remediate / time-to-recover, and checks
+both generic recovery invariants and per-scenario expectations.
+
+Everything is seeded: the same ``(scenario, seed)`` pair produces a
+bit-identical incident timeline (verified by digest in the tests), so a
+chaos run that exposes a bug is a repro, not an anecdote.
+
+Two fault-injection sites let tests perturb the drills themselves through
+the standard :class:`~repro.core.resilience.FaultInjector`:
+
+* ``chaos.scenario`` — consulted once when a scenario starts; an
+  exception fault aborts the drill before any load is submitted.
+* ``chaos.workload`` — consulted before each optional unit of load; an
+  exception fault sheds that unit (counted on the harness).
+"""
+
+from repro.core.resilience import register_fault_sites
+
+register_fault_sites("chaos.scenario", "chaos.workload")
+
+from repro.chaos.harness import (ChaosHarness, ScenarioResult,  # noqa: E402
+                                 run_scenario, run_suite)
+from repro.chaos.scenarios import (SCENARIOS, BlockingStorm,  # noqa: E402
+                                   ChaosScenario, DeadlockCascade,
+                                   HotRowContention, OverloadSpike,
+                                   RunawayQuery, get_scenario)
+
+__all__ = [
+    "ChaosScenario",
+    "BlockingStorm",
+    "DeadlockCascade",
+    "RunawayQuery",
+    "HotRowContention",
+    "OverloadSpike",
+    "SCENARIOS",
+    "get_scenario",
+    "ChaosHarness",
+    "ScenarioResult",
+    "run_scenario",
+    "run_suite",
+]

@@ -1,0 +1,225 @@
+"""The chaos harness: run one drill, measure recovery, check invariants.
+
+The harness owns the full stack for one scenario run — a fresh
+:class:`~repro.engine.DatabaseServer`, a fresh SQLCM instance with a
+deterministic :class:`~repro.core.resilience.FaultInjector`, the incident
+manager, and an :class:`~repro.apps.auto_remediation.AutoRemediator`
+configured by the scenario.  It then advances virtual time in fixed
+slices until every incident has resolved (or the settle deadline hits),
+and distils the run into a :class:`ScenarioResult`:
+
+* ``time_to_detect`` — injection start to the first incident opening;
+* ``time_to_remediate`` — to the first remediation attempt (and
+  separately the first *successful* one, which self-healing or
+  budget-exhaustion drills legitimately never produce);
+* ``time_to_recover`` — to the last incident resolution;
+* ``timeline_digest`` — the incident manager's replay digest, the unit
+  of the same-seed determinism guarantee.
+
+Generic invariants (checked for every scenario): the expected incident
+class fired, every incident resolved, no query is still active, the lock
+graph is empty, and the whole-run monitoring overhead stayed under the
+scenario's ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.auto_remediation import AutoRemediator
+from repro.core import SQLCM
+from repro.core.resilience import FaultInjector
+from repro.engine import DatabaseServer, ServerConfig
+from repro.errors import FaultInjected
+
+from repro.chaos.scenarios import ChaosScenario, get_scenario
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a bench or test needs to judge one drill."""
+
+    scenario: str
+    seed: int
+    ok: bool = False
+    failures: list[str] = field(default_factory=list)
+    aborted_by_fault: bool = False
+    load_shed: int = 0
+    finished_at: float = 0.0
+    # incident lifecycle timing (virtual seconds from injection start)
+    detected_at: float | None = None
+    first_remediation_at: float | None = None
+    first_ok_remediation_at: float | None = None
+    recovered_at: float | None = None
+    # volume + determinism
+    incidents: int = 0
+    occurrences: int = 0
+    remediation_outcomes: dict[str, int] = field(default_factory=dict)
+    timeline_digest: int = 0
+    monitor_overhead: float = 0.0
+
+    @property
+    def time_to_detect(self) -> float | None:
+        return self.detected_at
+
+    @property
+    def time_to_remediate(self) -> float | None:
+        return self.first_remediation_at
+
+    @property
+    def time_to_recover(self) -> float | None:
+        return self.recovered_at
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "load_shed": self.load_shed,
+            "finished_at": round(self.finished_at, 6),
+            "time_to_detect": self.time_to_detect,
+            "time_to_remediate": self.time_to_remediate,
+            "first_ok_remediation_at": self.first_ok_remediation_at,
+            "time_to_recover": self.time_to_recover,
+            "incidents": self.incidents,
+            "occurrences": self.occurrences,
+            "remediation_outcomes": dict(self.remediation_outcomes),
+            "timeline_digest": self.timeline_digest,
+            "monitor_overhead": round(self.monitor_overhead, 6),
+        }
+
+
+class ChaosHarness:
+    """One scenario, one fresh stack, one measured run."""
+
+    def __init__(self, scenario: ChaosScenario | str, *, seed: int = 0,
+                 quick: bool = False,
+                 faults: FaultInjector | None = None):
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario, seed=seed, quick=quick)
+        self.scenario = scenario
+        self.seed = scenario.seed
+        self.server = DatabaseServer(
+            ServerConfig(track_completed_queries=True))
+        self.sqlcm = SQLCM(self.server)
+        self.faults = faults if faults is not None else FaultInjector(
+            seed=self.seed)
+        self.sqlcm.set_fault_injector(self.faults)
+        self.manager = self.sqlcm.incident_manager(scenario.policy())
+        self.remediator: AutoRemediator | None = None
+        self.result = ScenarioResult(scenario=scenario.name,
+                                     seed=self.seed)
+
+    # -- load-shedding fault site -------------------------------------------------
+
+    def allow_load(self) -> bool:
+        """Consult ``chaos.workload``; False means shed this unit."""
+        try:
+            self.sqlcm.check_fault("chaos.workload")
+        except FaultInjected:
+            self.result.load_shed += 1
+            return False
+        return True
+
+    # -- the drill ----------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        scenario = self.scenario
+        try:
+            self.sqlcm.check_fault("chaos.scenario")
+        except FaultInjected as exc:
+            self.result.aborted_by_fault = True
+            self.result.failures.append(f"aborted by fault: {exc}")
+            return self.result
+
+        scenario.setup(self)
+        scenario.configure(self)
+        self.remediator = AutoRemediator(self.sqlcm,
+                                         **scenario.remediator_kwargs())
+        scenario.inject(self)
+
+        deadline = scenario.load_until + scenario.settle_time
+        now = 0.0
+        while True:
+            now = min(now + scenario.slice_seconds, deadline)
+            self.server.run(until=now)
+            if self.sqlcm.has_streams:
+                self.sqlcm.stream_engine().flush(self.server.clock.now)
+            settled = (now >= scenario.load_until
+                       and not self.manager.open_incidents()
+                       and not self.server.active_queries())
+            if settled or now >= deadline:
+                break
+
+        self._collect()
+        failures = self.result.failures
+        self._generic_invariants(failures)
+        scenario.check(self, failures)
+        self.result.ok = not failures
+        return self.result
+
+    # -- measurement --------------------------------------------------------------
+
+    def _collect(self) -> None:
+        result = self.result
+        result.finished_at = self.server.clock.now
+        incidents = self.manager.incidents()
+        result.incidents = len(incidents)
+        result.occurrences = sum(i.occurrences for i in incidents)
+        opened = [i.opened_at for i in incidents]
+        result.detected_at = min(opened) if opened else None
+        resolved = [i.resolved_at for i in incidents
+                    if i.resolved_at is not None]
+        if resolved and len(resolved) == len(incidents):
+            result.recovered_at = max(resolved)
+        for record in self.manager.remediations():
+            result.remediation_outcomes[record.outcome] = (
+                result.remediation_outcomes.get(record.outcome, 0) + 1)
+            if result.first_remediation_at is None:
+                result.first_remediation_at = record.time
+            if record.outcome == "ok" and (
+                    result.first_ok_remediation_at is None):
+                result.first_ok_remediation_at = record.time
+        result.timeline_digest = self.manager.timeline_digest()
+        now = self.server.clock.now
+        result.monitor_overhead = (
+            self.server.monitor_cost_total / now if now > 0 else 0.0)
+
+    def _generic_invariants(self, failures: list[str]) -> None:
+        scenario = self.scenario
+        incidents = self.manager.incidents()
+        if not any(i.incident_class == scenario.expected_class
+                   for i in incidents):
+            failures.append(f"no {scenario.expected_class!r} incident "
+                            f"was opened")
+        unresolved = [i for i in incidents if i.resolved_at is None]
+        if unresolved:
+            failures.append(
+                "unresolved incidents: " + ", ".join(
+                    f"{i.incident_class}/{i.signature}"
+                    for i in unresolved))
+        active = self.server.active_queries()
+        if active:
+            failures.append(f"{len(active)} queries still active at "
+                            f"settle deadline")
+        if self.server.locks.blocking_pairs():
+            failures.append("lock graph still has waiters")
+        if self.result.monitor_overhead > scenario.max_overhead:
+            failures.append(
+                f"monitoring overhead {self.result.monitor_overhead:.3f}"
+                f" exceeded ceiling {scenario.max_overhead:.3f}")
+
+
+def run_scenario(name: str, *, seed: int = 0, quick: bool = False,
+                 faults: FaultInjector | None = None) -> ScenarioResult:
+    """Convenience: build a harness, run the drill, return the result."""
+    return ChaosHarness(name, seed=seed, quick=quick, faults=faults).run()
+
+
+def run_suite(*, seed: int = 0, quick: bool = False
+              ) -> dict[str, ScenarioResult]:
+    """Run every registered scenario on fresh stacks; name -> result."""
+    from repro.chaos.scenarios import SCENARIOS
+    return {name: run_scenario(name, seed=seed, quick=quick)
+            for name in sorted(SCENARIOS)}

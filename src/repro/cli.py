@@ -15,6 +15,13 @@ Besides SQL, the shell understands monitoring meta-commands:
 ``.monitor topk K``    install a top-K-expensive-queries tracker
 ``.monitor outliers``  install the Example 1 outlier detector
 ``.monitor deviation`` install the stream-query outlier detector
+``.monitor remediate`` install the closed-loop auto-remediator (blocking
+                       sweep + guarded cancels through the incident
+                       manager)
+``.incidents [ID]``    incident summary, or one incident's full timeline
+``.investigate ID``    time-windowed story around an incident: phases,
+                       alerts, remediations, neighbouring incidents, and
+                       the statements the engine ran in the window
 ``.stream TEXT``       register a continuous stream query (FROM ... WINDOW
                        ... AGG ...); see DESIGN.md Section 7 for the grammar
 ``.streams``           list stream queries with window/alert statistics
@@ -221,6 +228,10 @@ class Shell:
                             f"from the ring)")
             if not journal.depth:
                 self._print("  (empty)")
+        elif command == ".incidents":
+            self._show_incidents(parts[1:])
+        elif command == ".investigate" and len(parts) > 1:
+            self._show_investigation(parts[1:])
         elif command == ".governor":
             from repro.monitoring.report import governor_status
             self._print(governor_status(self.sqlcm))
@@ -240,6 +251,45 @@ class Shell:
                 self._print(f"error: {err}")
         else:
             self._print(f"unknown meta-command {parts[0]!r}; try .help")
+
+    def _show_incidents(self, args: list[str]) -> None:
+        if not self.sqlcm.has_incidents:
+            self._print("  (no incidents recorded)")
+            return
+        from repro.monitoring.investigate import incident_status
+        if not args:
+            self._print(incident_status(self.sqlcm))
+            return
+        try:
+            incident = self.sqlcm.incident_manager().incident(
+                int(args[0]))
+        except (ValueError, ReproError) as err:
+            self._print(f"error: {err}")
+            return
+        self._print(f"  #{incident.incident_id} [{incident.state}] "
+                    f"{incident.incident_class}/{incident.signature} "
+                    f"severity={incident.severity} "
+                    f"x{incident.occurrences}")
+        if incident.summary:
+            self._print(f"  summary: {incident.summary}")
+        for time, phase, detail in incident.timeline:
+            suffix = f" — {detail}" if detail else ""
+            self._print(f"  {time:10.3f}s {phase}{suffix}")
+
+    def _show_investigation(self, args: list[str]) -> None:
+        if not self.sqlcm.has_incidents:
+            self._print("  (no incidents recorded)")
+            return
+        from repro.monitoring.investigate import (investigate,
+                                                  render_investigation)
+        try:
+            incident_id = int(args[0])
+            window = float(args[1]) if len(args) > 1 else 5.0
+            report = investigate(self.sqlcm, incident_id, window=window)
+        except (ValueError, ReproError) as err:
+            self._print(f"error: {err}")
+            return
+        self._print(render_investigation(report))
 
     def _show_metrics(self) -> None:
         obs = self.server.obs
@@ -324,9 +374,14 @@ class Shell:
                     StreamOutlierDetector(self.sqlcm)
                 self._print("stream deviation detection installed "
                             "(.alerts duration_outliers to view)")
+            elif kind == "remediate":
+                from repro.apps import AutoRemediator
+                self._trackers["remediate"] = AutoRemediator(self.sqlcm)
+                self._print("auto-remediation installed "
+                            "(.incidents to view)")
             else:
                 self._print(f"unknown monitor {kind!r} "
-                            "(try: topk, outliers, deviation)")
+                            "(try: topk, outliers, deviation, remediate)")
         except ReproError as err:
             self._print(f"error: {err}")
 

@@ -18,6 +18,10 @@ from repro.core.engine import SQLCM
 from repro.core.governor import (BEST_EFFORT, CRITICAL, GOV_ESSENTIAL,
                                  GOV_NORMAL, GOV_SAMPLED, GOV_SHEDDING,
                                  LADDER, GovernorPolicy, OverloadGovernor)
+from repro.core.incidents import (CancelBlockerAction, Incident,
+                                  IncidentManager, IncidentPolicy,
+                                  OpenIncidentAction, QuarantineRuleAction,
+                                  RemediationRecord, ResetLATAction)
 from repro.core.lat import AggSpec, AgingSpec, LATDefinition, OrderSpec
 from repro.core.resilience import (DeadLetter, DeadLetterJournal,
                                    FaultInjector, FaultSpec,
@@ -60,4 +64,12 @@ __all__ = [
     "GOV_SAMPLED",
     "GOV_SHEDDING",
     "GOV_ESSENTIAL",
+    "Incident",
+    "IncidentManager",
+    "IncidentPolicy",
+    "RemediationRecord",
+    "OpenIncidentAction",
+    "CancelBlockerAction",
+    "QuarantineRuleAction",
+    "ResetLATAction",
 ]

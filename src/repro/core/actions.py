@@ -272,6 +272,30 @@ class CallbackAction(Action):
 _CANCELLABLE = {"query", "blocker", "blocked"}
 
 
+def cancel_with_outcome(sqlcm, rule, target: str, qctx) -> bool:
+    """Cancel ``qctx`` and surface the outcome instead of swallowing it.
+
+    ``Server.cancel_query`` returns ``False`` when the victim has already
+    finished (e.g. a blocker idling in transaction think time) — an outcome
+    DBAs need to see, because the rule *looked* like it acted but nothing
+    was released.  Publishes a ``sqlcm.cancel`` event either way and bumps
+    ``sqlcm.cancel.failed`` on the no-op path.  Returns the cancel result.
+    """
+    ok = sqlcm.server.cancel_query(qctx)
+    obs = sqlcm.server.obs
+    obs.count("sqlcm.cancel.requested")
+    if not ok:
+        obs.count("sqlcm.cancel.failed")
+    sqlcm.server.events.publish("sqlcm.cancel", {
+        "rule": rule.name if rule is not None else None,
+        "target": target,
+        "query_id": qctx.query_id,
+        "ok": ok,
+        "time": sqlcm.server.clock.now,
+    })
+    return ok
+
+
 @dataclass
 class CancelAction(Action):
     """``Cancel()`` — cancel the in-context Query / Blocker / Blocked.
@@ -299,7 +323,7 @@ class CancelAction(Action):
         qctx = obj.source
         if qctx is None:
             raise ActionError("Cancel target has no underlying query")
-        sqlcm.server.cancel_query(qctx)
+        cancel_with_outcome(sqlcm, rule, self.target, qctx)
 
 
 @dataclass

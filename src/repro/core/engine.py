@@ -97,6 +97,8 @@ class SQLCM:
         # the continuous stream-query subsystem is created lazily (pay only
         # for what you monitor); see stream_engine()
         self._streams = None
+        # the incident manager too; see incident_manager()
+        self._incidents = None
         for event in ("query.start", "query.commit", "query.cancel",
                       "query.rollback", "query.blocked",
                       "query.block_released", "txn.begin", "txn.commit",
@@ -298,6 +300,28 @@ class SQLCM:
     def has_streams(self) -> bool:
         """True once the stream engine exists and has registered queries."""
         return self._streams is not None and bool(self._streams.queries())
+
+    # ------------------------------------------------------------------
+    # incident lifecycle
+    # ------------------------------------------------------------------
+
+    def incident_manager(self, policy=None):
+        """The incident manager, created on first use.
+
+        Dedups rule firings and stream alerts into open -> acked ->
+        resolved incidents, runs the remediation guardrails, and persists
+        history for investigation; see :mod:`repro.core.incidents`.
+        ``policy`` is honored only on the creating call.
+        """
+        if self._incidents is None:
+            from repro.core.incidents import IncidentManager
+            self._incidents = IncidentManager(self, policy)
+        return self._incidents
+
+    @property
+    def has_incidents(self) -> bool:
+        """True once the incident manager exists and saw some incident."""
+        return self._incidents is not None and bool(self._incidents.opened)
 
     def enable_signatures(self, enabled: bool = True) -> None:
         """Force signature computation even with no referencing rule."""
@@ -556,6 +580,10 @@ class SQLCM:
             return {"streamalert": factory.stream_alert(payload)}
         if event == "sqlcm.governor_transition":
             return {"governor": factory.governor_transition(payload)}
+        if event == "sqlcm.incident":
+            return {"incident": factory.incident(payload)}
+        if event == "sqlcm.remediation":
+            return {"remediation": factory.remediation(payload)}
         return {}
 
     def _iterate_class(self, class_name: str) -> list[MonitoredObject]:
@@ -742,7 +770,8 @@ class SQLCM:
                      err: ActionDeliveryError) -> None:
         self.server.add_monitor_cost(self.server.costs.dead_letter_append)
         self.server.obs.gauge("sqlcm.deadletter.depth",
-                              self.dead_letters.depth + 1)
+                              min(self.dead_letters.capacity,
+                                  self.dead_letters.depth + 1))
         cause = err.__cause__ if err.__cause__ is not None else err
         self.dead_letters.append(DeadLetter(
             time=self.server.clock.now,
@@ -755,6 +784,11 @@ class SQLCM:
             context=dict(combo),
             lat_rows=dict(lat_rows),
         ))
+        # ring displacement is data loss; surface it as a metric so a
+        # persistent sink outage is visible even after entries rotate out
+        if self.dead_letters.dropped:
+            self.server.obs.gauge("sqlcm.deadletter.dropped",
+                                  self.dead_letters.dropped)
 
     def _record_rule_failure(self, rule: Rule, site: str,
                              error: BaseException) -> None:

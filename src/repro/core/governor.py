@@ -104,8 +104,10 @@ GOV_ESSENTIAL = "ESSENTIAL"
 LADDER = (GOV_NORMAL, GOV_SAMPLED, GOV_SHEDDING, GOV_ESSENTIAL)
 
 #: meta-events whose rules are never sampled or shed — monitoring the
-#: monitor (rule failures, governor transitions) must survive degradation
-EXEMPT_EVENTS = frozenset({"sqlcm.governor_transition", "sqlcm.rule_error"})
+#: monitor (rule failures, governor transitions, the incident/remediation
+#: loop) must survive degradation
+EXEMPT_EVENTS = frozenset({"sqlcm.governor_transition", "sqlcm.rule_error",
+                           "sqlcm.incident", "sqlcm.remediation"})
 
 
 @dataclass

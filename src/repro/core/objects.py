@@ -236,6 +236,38 @@ class ObjectFactory:
             "current_time": payload.get("time"),
         }, source=payload)
 
+    # -- incidents / remediations (meta-monitoring) -------------------------------
+
+    def incident(self, payload: dict[str, Any]) -> MonitoredObject:
+        """Wrap one incident lifecycle transition
+        (the ``sqlcm.incident`` event)."""
+        cls = self._sqlcm.schema.monitored_class("Incident")
+        return MonitoredObject(cls, {}, extra={
+            "id": payload.get("incident_id"),
+            "class": payload.get("incident_class"),
+            "signature": payload.get("signature"),
+            "phase": payload.get("phase"),
+            "state": payload.get("state"),
+            "severity": payload.get("severity"),
+            "occurrences": payload.get("occurrences", 1),
+            "summary": payload.get("summary"),
+            "current_time": payload.get("time"),
+        }, source=payload)
+
+    def remediation(self, payload: dict[str, Any]) -> MonitoredObject:
+        """Wrap one remediation attempt (the ``sqlcm.remediation`` event)."""
+        cls = self._sqlcm.schema.monitored_class("Remediation")
+        return MonitoredObject(cls, {}, extra={
+            "incident_id": payload.get("incident_id"),
+            "incident_class": payload.get("incident_class"),
+            "signature": payload.get("signature"),
+            "action": payload.get("action"),
+            "target": payload.get("target"),
+            "outcome": payload.get("outcome"),
+            "detail": payload.get("detail"),
+            "current_time": payload.get("time"),
+        }, source=payload)
+
     # -- governor transitions (meta-monitoring) ----------------------------------
 
     def governor_transition(self, payload: dict[str, Any]) -> MonitoredObject:

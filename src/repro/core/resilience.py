@@ -210,6 +210,15 @@ class RuleHealthRegistry:
             health.reactivate_at = None
             health.recent_failures.clear()
 
+    def quarantine(self, name: str, now: float, reason: str) -> None:
+        """Force a rule into quarantine (remediation / DBA override).
+
+        Same state machine as breaker-tripped quarantine: the rule leaves
+        the evaluation path, gets a reactivation probe after the cooldown,
+        and its cooldown escalates across repeated quarantines.
+        """
+        self._quarantine(self.health_of(name), now, reason)
+
     def release(self, name: str) -> None:
         """Manually clear a quarantine (DBA override)."""
         health = self._health.get(name.lower())

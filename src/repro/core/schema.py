@@ -304,8 +304,52 @@ GOVERNOR_CLASS = MonitoredClassDef(
               "(meta-monitoring: rules can watch the governor)")],
 )
 
+INCIDENT_CLASS = MonitoredClassDef(
+    "Incident",
+    [
+        AttributeDef("ID", SQLType.INTEGER, "incident id"),
+        AttributeDef("Class", SQLType.STRING,
+                     "incident class (e.g. blocking, runaway, overload)"),
+        AttributeDef("Signature", SQLType.STRING,
+                     "dedup key within the class (e.g. the hot resource)"),
+        AttributeDef("Phase", SQLType.STRING,
+                     "opened | acked | escalated | resolved"),
+        AttributeDef("State", SQLType.STRING, "open | acked | resolved"),
+        AttributeDef("Severity", SQLType.STRING, "warning | critical"),
+        AttributeDef("Occurrences", SQLType.INTEGER,
+                     "detections deduplicated into this incident"),
+        AttributeDef("Summary", SQLType.STRING, "human-readable summary"),
+        AttributeDef("Current_Time", SQLType.DATETIME,
+                     "virtual time of the transition"),
+    ],
+    [EventDef("Update", "sqlcm.incident",
+              "an incident changed lifecycle state "
+              "(meta-monitoring: rules can watch the incident loop)")],
+)
+
+REMEDIATION_CLASS = MonitoredClassDef(
+    "Remediation",
+    [
+        AttributeDef("Incident_ID", SQLType.INTEGER),
+        AttributeDef("Incident_Class", SQLType.STRING),
+        AttributeDef("Signature", SQLType.STRING),
+        AttributeDef("Action", SQLType.STRING,
+                     "remediation action class name"),
+        AttributeDef("Target", SQLType.STRING,
+                     "what was acted on (query, rule, LAT)"),
+        AttributeDef("Outcome", SQLType.STRING,
+                     "ok | failed | suppressed"),
+        AttributeDef("Detail", SQLType.STRING),
+        AttributeDef("Current_Time", SQLType.DATETIME,
+                     "virtual time of the attempt"),
+    ],
+    [EventDef("Attempt", "sqlcm.remediation",
+              "an automated remediation was attempted (or suppressed by "
+              "the budget / flap guardrails)")],
+)
+
 SCHEMA = SQLCMSchema([
     QUERY_CLASS, TRANSACTION_CLASS, BLOCKER_CLASS, BLOCKED_CLASS,
     SESSION_CLASS, TIMER_CLASS, EVICTED_ROW_CLASS, RULE_FAILURE_CLASS,
-    STREAM_ALERT_CLASS, GOVERNOR_CLASS,
+    STREAM_ALERT_CLASS, GOVERNOR_CLASS, INCIDENT_CLASS, REMEDIATION_CLASS,
 ])

@@ -30,6 +30,9 @@ Event names and payload keys:
                       "window_end", "time", "row"} — published by the
                       stream-query engine when a window result passes a
                       HAVING clause or trips an anomaly operator
+``sqlcm.cancel``      {"rule", "target", "query_id", "ok", "time"} —
+                      published for every Cancel action, successful or
+                      not, so remediation outcomes are observable
 ===================== =====================================================
 """
 
@@ -45,6 +48,7 @@ EVENT_NAMES = frozenset({
     "txn.begin", "txn.commit", "txn.rollback",
     "session.login", "session.login_failed", "session.logout",
     "timer.alert", "sqlcm.rule_error", "sqlcm.stream_alert",
+    "sqlcm.cancel",
 })
 
 

@@ -140,6 +140,15 @@ class FaultInjected(SQLCMError):
         self.mode = mode
 
 
+class IncidentError(SQLCMError):
+    """Invalid incident lifecycle operation (unknown incident, bad
+    transition like acking a resolved incident, malformed policy)."""
+
+
+class ChaosError(SQLCMError):
+    """Invalid chaos-drill configuration (unknown scenario name)."""
+
+
 class PersistCorruptionError(SQLCMError):
     """A persisted LAT table failed checksum validation during restore.
 

@@ -11,6 +11,8 @@
 """
 
 from repro.monitoring.accuracy import missed_top_k, top_k_ground_truth
+from repro.monitoring.investigate import (incident_status, investigate,
+                                          render_investigation)
 from repro.monitoring.logging_monitor import QueryLoggingMonitor
 from repro.monitoring.polling import PullHistoryMonitor, PullMonitor
 
@@ -20,4 +22,7 @@ __all__ = [
     "PullHistoryMonitor",
     "top_k_ground_truth",
     "missed_top_k",
+    "investigate",
+    "render_investigation",
+    "incident_status",
 ]

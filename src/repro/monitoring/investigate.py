@@ -1,0 +1,195 @@
+"""Historical incident investigation: "what led to incident X?".
+
+The incident manager persists its lifecycle into *real* engine tables
+(``sqlcm_incidents``, ``sqlcm_remediations``, ``sqlcm_alerts``), so any
+SQL client can query the history directly.  This module layers the
+canned time-windowed investigation a DBA reaches for first: given an
+incident, pull everything that happened around it — lifecycle phases,
+stream alerts, remediation attempts, neighbouring incidents, and the
+statements the engine completed in the window (with their blocking
+counters).  Each scanned history row is charged to the monitor-cost
+pool (``investigate_per_row``), keeping even forensics inside the
+paper's accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.incidents import (ALERT_TABLE, INCIDENT_TABLE,
+                                  REMEDIATION_TABLE)
+
+#: timestamp column appended to every reporting table
+_TS = "sqlcm_ts"
+
+
+def _scan_history(sqlcm, table_name: str, columns: tuple[str, ...]
+                  ) -> list[dict[str, Any]]:
+    """All rows of one history table as dicts (empty if never created)."""
+    server = sqlcm.server
+    if not server.catalog.has_table(table_name):
+        return []
+    table = server.table(table_name)
+    names = list(columns) + [_TS]
+    rows = []
+    for __, row in table.scan():
+        server.add_monitor_cost(server.costs.investigate_per_row)
+        rows.append(dict(zip(names, row)))
+    return rows
+
+
+def _in_window(rows: list[dict], start: float, end: float) -> list[dict]:
+    return [r for r in rows if start <= r[_TS] <= end]
+
+
+def investigate(sqlcm, incident_id: int, window: float = 5.0) -> dict:
+    """Assemble the time-windowed story around one incident.
+
+    The window spans ``opened_at - window`` to ``resolved_at + window``
+    (or now, while the incident is still active).  Raises
+    :class:`~repro.errors.IncidentError` for an unknown id, and returns
+    a plain dict so benches/tests can assert on it and the CLI can
+    render it.
+    """
+    manager = sqlcm.incident_manager()
+    incident = manager.incident(incident_id)
+    now = sqlcm.server.clock.now
+    start = incident.opened_at - window
+    end = (incident.resolved_at
+           if incident.resolved_at is not None else now) + window
+
+    from repro.core.incidents import IncidentManager
+    phase_rows = _scan_history(sqlcm, INCIDENT_TABLE,
+                               IncidentManager._INCIDENT_COLUMNS)
+    remediation_rows = _scan_history(sqlcm, REMEDIATION_TABLE,
+                                     IncidentManager._REMEDIATION_COLUMNS)
+    alert_rows = _scan_history(sqlcm, ALERT_TABLE,
+                               IncidentManager._ALERT_COLUMNS)
+
+    phases = [r for r in phase_rows if r["incident_id"] == incident_id]
+    neighbours = _in_window(
+        [r for r in phase_rows if r["incident_id"] != incident_id],
+        start, end)
+    remediations = [r for r in remediation_rows
+                    if r["incident_id"] == incident_id]
+    alerts = _in_window(alert_rows, start, end)
+
+    queries = []
+    for qctx in getattr(sqlcm.server, "completed_queries", []):
+        q_end = qctx.end_time if qctx.end_time is not None else now
+        if q_end < start or qctx.start_time > end:
+            continue
+        queries.append({
+            "query_id": qctx.query_id,
+            "start": qctx.start_time,
+            "duration": qctx.duration_at(now),
+            "times_blocked": qctx.times_blocked,
+            "time_blocked": qctx.time_blocked,
+            "error": qctx.error,
+            "text": qctx.text,
+        })
+    queries.sort(key=lambda q: (-q["time_blocked"], -q["duration"]))
+
+    return {
+        "incident": {
+            "id": incident.incident_id,
+            "class": incident.incident_class,
+            "signature": incident.signature,
+            "state": incident.state,
+            "severity": incident.severity,
+            "occurrences": incident.occurrences,
+            "opened_at": incident.opened_at,
+            "resolved_at": incident.resolved_at,
+            "summary": incident.summary,
+        },
+        "window": (start, end),
+        "timeline": list(incident.timeline),
+        "phases": phases,
+        "remediations": remediations,
+        "alerts": alerts,
+        "neighbours": neighbours,
+        "queries": queries,
+    }
+
+
+def render_investigation(report: dict, max_queries: int = 10) -> str:
+    """Render an investigation dict as the CLI's plain-text story."""
+    inc = report["incident"]
+    start, end = report["window"]
+    lines = [
+        f"INCIDENT #{inc['id']} {inc['class']}/{inc['signature']} "
+        f"[{inc['state']}] severity={inc['severity']} "
+        f"occurrences={inc['occurrences']}",
+        f"  window: [{start:.3f}s .. {end:.3f}s]",
+    ]
+    if inc["summary"]:
+        lines.append(f"  summary: {inc['summary']}")
+    lines.append("")
+    lines.append("timeline:")
+    for time, phase, detail in report["timeline"]:
+        suffix = f" — {detail}" if detail else ""
+        lines.append(f"  {time:10.3f}s {phase}{suffix}")
+    if report["remediations"]:
+        lines.append("")
+        lines.append("remediation attempts:")
+        for row in report["remediations"]:
+            lines.append(f"  {row[_TS]:10.3f}s {row['action']} "
+                         f"target={row['target']} -> {row['outcome']}"
+                         + (f" ({row['detail']})" if row["detail"]
+                            else ""))
+    if report["alerts"]:
+        lines.append("")
+        lines.append("stream alerts in window:")
+        for row in report["alerts"]:
+            lines.append(f"  {row[_TS]:10.3f}s [{row['stream']}] "
+                         f"{row['kind']} group={row['group_key']} "
+                         f"{row['column_name']}={row['value']:g}")
+    if report["neighbours"]:
+        lines.append("")
+        lines.append("other incident activity in window:")
+        for row in report["neighbours"]:
+            lines.append(f"  {row[_TS]:10.3f}s #{row['incident_id']} "
+                         f"{row['incident_class']}/{row['signature']} "
+                         f"{row['phase']}")
+    if report["queries"]:
+        lines.append("")
+        lines.append("statements in window (most-blocked first):")
+        for q in report["queries"][:max_queries]:
+            flag = " ERROR" if q["error"] else ""
+            lines.append(f"  #{q['query_id']} t={q['start']:.3f}s "
+                         f"dur={q['duration'] * 1e3:.1f}ms "
+                         f"blocked={q['time_blocked'] * 1e3:.1f}ms"
+                         f"{flag} {q['text'][:48]}")
+        hidden = len(report["queries"]) - max_queries
+        if hidden > 0:
+            lines.append(f"  (+{hidden} more)")
+    return "\n".join(lines)
+
+
+def incident_status(sqlcm) -> str:
+    """The DBA report section: incident + remediation summary."""
+    manager = sqlcm.incident_manager()
+    lines = ["INCIDENTS", ""]
+    incidents = manager.incidents()
+    if not incidents:
+        lines.append("  (no incidents recorded)")
+        return "\n".join(lines)
+    for incident in incidents:
+        resolved = (f" resolved={incident.resolved_at:.3f}s"
+                    if incident.resolved_at is not None else "")
+        lines.append(
+            f"  #{incident.incident_id} [{incident.state}] "
+            f"{incident.incident_class}/{incident.signature} "
+            f"x{incident.occurrences} opened={incident.opened_at:.3f}s"
+            + resolved)
+    records = manager.remediations()
+    if records:
+        outcomes: dict[str, int] = {}
+        for record in records:
+            outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+        summary = ", ".join(f"{k}={v}"
+                            for k, v in sorted(outcomes.items()))
+        lines.append("")
+        lines.append(f"  remediation attempts: {len(records)} "
+                     f"({summary})")
+    return "\n".join(lines)

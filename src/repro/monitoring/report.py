@@ -305,6 +305,9 @@ def full_report(server, sqlcm) -> str:
     ]
     if sqlcm.has_streams:
         sections.append(stream_activity(sqlcm))
+    if sqlcm.has_incidents:
+        from repro.monitoring.investigate import incident_status
+        sections.append(incident_status(sqlcm))
     if sqlcm.governor is not None:
         sections.append(governor_status(sqlcm))
     if server.observability_enabled:

@@ -123,6 +123,17 @@ class CostModel:
     dead_letter_append: float = 1e-6
     persist_checksum_per_row: float = 0.5e-6
 
+    # --- incident lifecycle / auto-remediation -----------------------------
+    # opening an incident allocates a record + dict entry; dedup bumps a
+    # counter; a sweep scans the (small) active set; one remediation attempt
+    # renders a signature and consults the budget/flap guardrails;
+    # investigation scans persisted history rows
+    incident_open: float = 1e-6
+    incident_update: float = 0.2e-6
+    incident_sweep_base: float = 0.5e-6
+    remediation_attempt: float = 2e-6
+    investigate_per_row: float = 0.5e-6
+
     # --- baseline monitoring mechanisms (Section 6.2.2) -------------------
     log_write_row_sync: float = 3.0e-3  # synchronous write of one event row
     poll_snapshot_base: float = 2.0e-3  # building + shipping one snapshot

@@ -1,0 +1,51 @@
+"""Every fault-site literal used in src/ must be a registered site.
+
+The injector validates sites at :meth:`FaultInjector.arm` time, but a
+``check_fault("typo.site")`` call in engine code would silently never
+fire (``FaultInjector.check`` returns 0 for unarmed sites).  This test
+greps the source tree for site literals and cross-checks them against
+:func:`repro.core.resilience.known_fault_sites`, so a misspelt or
+unregistered site is a test failure, not a dead injection point.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro  # noqa: F401  -- imports register subsystem sites
+import repro.chaos  # noqa: F401
+from repro.core.resilience import known_fault_sites
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: check_fault("site") / faults.check("site") call sites
+_CALL_RE = re.compile(
+    r"""(?:check_fault|faults\.check)\(\s*['"]([a-z0-9_.]+)['"]""")
+
+
+def _used_sites() -> dict[str, list[str]]:
+    used: dict[str, list[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _CALL_RE.finditer(text):
+            used.setdefault(match.group(1), []).append(
+                str(path.relative_to(SRC)))
+    return used
+
+
+def test_sources_actually_use_fault_sites():
+    """Guard the guard: the grep must find the known call sites."""
+    used = _used_sites()
+    assert used, "no check_fault call sites found under src/"
+    assert "chaos.workload" in used
+    assert "chaos.scenario" in used
+
+
+def test_every_used_site_is_registered():
+    known = set(known_fault_sites())
+    unknown = {site: files for site, files in _used_sites().items()
+               if site not in known}
+    assert not unknown, (
+        f"fault sites used in src/ but never registered: {unknown}; "
+        f"register them via register_fault_sites() at subsystem import")
