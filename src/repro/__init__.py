@@ -11,6 +11,9 @@ four layers:
   compares against (event logging, snapshot polling, history polling).
 * :mod:`repro.workloads` / :mod:`repro.apps` — TPC-H-style workload
   generators and the example monitoring applications from Section 3.
+* :mod:`repro.service` — the network service tier: an asyncio TCP
+  JSON-lines server multiplexing many client connections onto one
+  monitored engine, with governed admission and pushed alerts.
 
 Quickstart::
 
@@ -48,6 +51,8 @@ from repro.engine import (ColumnDef, DatabaseServer, IfStep, IndexDef,
 from repro.engine.types import SQLType
 from repro.errors import ReproError
 from repro.obs import Observability
+from repro.service import (MonitorService, ServiceClient, ServiceConfig,
+                           ServiceRunner)
 from repro.sim import CostModel, SimClock
 
 __version__ = "1.0.0"
@@ -91,6 +96,10 @@ __all__ = [
     "CostModel",
     "SimClock",
     "Observability",
+    "MonitorService",
+    "ServiceConfig",
+    "ServiceRunner",
+    "ServiceClient",
     "ReproError",
     "__version__",
 ]

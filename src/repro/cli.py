@@ -432,6 +432,12 @@ def _fmt(value: object) -> str:
 
 
 def main() -> None:  # pragma: no cover
+    argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # `python -m repro serve [--host H] [--port P]` — start the
+        # network service tier instead of the interactive shell
+        from repro.service import serve_main
+        raise SystemExit(serve_main(argv[1:]))
     shell = Shell()
     if sys.stdin.isatty():
         shell.repl()

@@ -208,6 +208,7 @@ class OverloadGovernor:
         self.evals_suspended = 0
         self.inserts_shed = 0
         self.stream_events_shed = 0
+        self.requests_denied = 0
         #: XOR digest of admitted sample hashes — equal across replays of
         #: the same trace iff the identical event subset was sampled
         self.sample_digest = 0
@@ -572,6 +573,28 @@ class OverloadGovernor:
                 out[state] = self.state_cost[state] / elapsed
         return out
 
+    def admit_request(self, criticality: str) -> tuple[bool, float]:
+        """Service-tier admission control for one client request.
+
+        Returns ``(admitted, retry_after)``.  NORMAL and SAMPLED admit
+        everything — sampling degrades monitoring, never client work.
+        SHEDDING drops BEST_EFFORT requests; ESSENTIAL admits only
+        CRITICAL ones.  ``retry_after`` (virtual seconds) is the hint the
+        service echoes in its ``overloaded`` backpressure reply: the
+        soonest the ladder could have stepped back down.
+        """
+        crit = validate_criticality(criticality)
+        state = self.state
+        if state in (GOV_NORMAL, GOV_SAMPLED):
+            return True, 0.0
+        if crit == CRITICAL:
+            return True, 0.0
+        if state == GOV_SHEDDING and crit != BEST_EFFORT:
+            return True, 0.0
+        self.requests_denied += 1
+        return False, max(self.policy.cooldown,
+                          self.policy.decision_interval)
+
     def describe(self) -> dict:
         return {
             "state": self.state,
@@ -584,6 +607,7 @@ class OverloadGovernor:
             "evals_suspended": self.evals_suspended,
             "inserts_shed": self.inserts_shed,
             "stream_events_shed": self.stream_events_shed,
+            "requests_denied": self.requests_denied,
             "suspended": sorted(
                 f"{kind}:{name}" for kind, name in self.suspended),
             "transitions": len(self.transitions),

@@ -173,6 +173,10 @@ class IncidentManager:
         self.resolved_count = 0
         self.escalations = 0
         self.remediation_counts = {"ok": 0, "failed": 0, "suppressed": 0}
+        #: callables fired on every lifecycle transition (service pushes);
+        #: each receives the same payload the ``sqlcm.incident`` meta-event
+        #: carries.  Listener errors are isolated, never propagated.
+        self._listeners: list = []
         self._history_ready = False
         if self.policy.alert_to_incident or self.policy.history:
             self.server.events.subscribe("sqlcm.stream_alert",
@@ -419,13 +423,24 @@ class IncidentManager:
         incident.timeline.append(
             (self.server.clock.now, phase, detail))
 
+    def add_listener(self, listener) -> None:
+        """Register a callable fired on every incident lifecycle
+        transition (opened / acked / escalated / resolved).  Used by the
+        service tier to push incident events to subscribed clients."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def _dispatch_incident(self, incident: Incident, phase: str) -> None:
-        """Surface one lifecycle transition as the ``sqlcm.incident``
-        meta-event (only when some rule listens — pay for what you
-        monitor)."""
-        if not self.sqlcm._rules_by_event.get("sqlcm.incident"):
+        """Surface one lifecycle transition: notify registered listeners,
+        then dispatch the ``sqlcm.incident`` meta-event (only when some
+        rule listens — pay for what you monitor)."""
+        if not self._listeners \
+                and not self.sqlcm._rules_by_event.get("sqlcm.incident"):
             return
-        self.sqlcm.dispatch_event("sqlcm.incident", {
+        payload = {
             "incident_id": incident.incident_id,
             "incident_class": incident.incident_class,
             "signature": incident.signature,
@@ -435,7 +450,14 @@ class IncidentManager:
             "occurrences": incident.occurrences,
             "summary": incident.summary,
             "time": self.server.clock.now,
-        })
+        }
+        for listener in list(self._listeners):
+            try:
+                listener(payload)
+            except Exception:
+                pass
+        if self.sqlcm._rules_by_event.get("sqlcm.incident"):
+            self.sqlcm.dispatch_event("sqlcm.incident", payload)
 
     def _install_sweeper(self) -> None:
         self.sqlcm.add_rule(Rule(

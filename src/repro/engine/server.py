@@ -177,7 +177,23 @@ class DatabaseServer:
         self._authenticator = authenticator
 
     def close_session(self, session: Session) -> None:
+        """Tear down a session: abandoned work must not keep locks alive.
+
+        A client that disconnects mid-transaction would otherwise leave
+        its transaction's locks held forever, blocking every other
+        session touching the same rows.  A statement still executing is
+        cancelled (the aborting process rolls its transaction back
+        itself); an idle open transaction is rolled back directly.
+        """
         session.closed = True
+        qctx = session.current_query
+        txn = session.current_txn
+        if qctx is not None and not qctx.finished:
+            self.cancel_query(qctx)
+        elif txn is not None and txn.active:
+            self.txns.rollback(txn, self.tables_by_name())
+            session.current_txn = None
+            self.publish_txn_event("txn.rollback", txn, session)
         self._sessions.pop(session.session_id, None)
         self.events.publish("session.logout", {"session": session})
 

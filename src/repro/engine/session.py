@@ -110,6 +110,28 @@ class Session:
         result = yield from self._run_statement(sql, params)
         return result
 
+    def statement_process(self, sql: str,
+                          params: dict[str, Any] | None = None) -> Iterator:
+        """One-statement process for external drivers (the network
+        service): spawn it on the scheduler and read ``.result`` when
+        done.  Unlike :meth:`execute` it never drives the scheduler, and
+        *every* failure becomes an error :class:`StatementResult` instead
+        of propagating — an unhandled exception would kill the shared
+        scheduler pump that all connections ride on.
+        """
+        def process() -> Iterator:
+            try:
+                result = yield from self._run_statement(
+                    sql, dict(params or {}))
+            except Exception as err:
+                # Deadlock/cancel/txn errors are already absorbed inside
+                # _run_statement; this catches the propagating kinds
+                # (syntax, binding, execution) that execute() would raise.
+                result = StatementResult(sql, error=str(err))
+                self.results.append(result)
+            return result
+        return process()
+
     def _script_process(self, statements: list[Statement]) -> Iterator:
         for statement in statements:
             if statement.think_time > 0:

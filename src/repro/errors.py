@@ -155,3 +155,25 @@ class PersistCorruptionError(SQLCMError):
     The restoring LAT is left empty so the caller rebuilds aggregates from
     scratch instead of silently continuing from corrupt state.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the network service tier.
+
+    Client-side instances carry the wire error ``code`` (see
+    :mod:`repro.service.protocol`) and, for backpressure replies, the
+    server's ``retry_after`` hint in virtual seconds.
+    """
+
+    def __init__(self, message: str, code: str = "internal_error",
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ProtocolError(ServiceError):
+    """A malformed, oversized, or out-of-order wire frame."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="protocol_error")

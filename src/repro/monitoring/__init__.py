@@ -11,7 +11,8 @@
 """
 
 from repro.monitoring.accuracy import missed_top_k, top_k_ground_truth
-from repro.monitoring.investigate import (incident_status, investigate,
+from repro.monitoring.investigate import (incident_status,
+                                          incidents_snapshot, investigate,
                                           render_investigation)
 from repro.monitoring.logging_monitor import QueryLoggingMonitor
 from repro.monitoring.polling import PullHistoryMonitor, PullMonitor
@@ -25,4 +26,5 @@ __all__ = [
     "investigate",
     "render_investigation",
     "incident_status",
+    "incidents_snapshot",
 ]

@@ -193,3 +193,52 @@ def incident_status(sqlcm) -> str:
         lines.append(f"  remediation attempts: {len(records)} "
                      f"({summary})")
     return "\n".join(lines)
+
+
+def incidents_snapshot(sqlcm, incident_id: int | None = None) -> dict:
+    """Incident history as a plain dict (service ``incidents`` endpoint).
+
+    With ``incident_id`` the snapshot narrows to that incident and
+    includes its timeline; without it, every known incident is listed
+    with a remediation-outcome summary — the JSON twin of
+    :func:`incident_status`.  ``enabled`` reports whether an incident
+    manager exists at all — a manager that has simply seen no incidents
+    yet is enabled with an empty list.
+    """
+    if sqlcm._incidents is None:
+        return {"enabled": False, "incidents": []}
+    manager = sqlcm.incident_manager()
+
+    def _incident(incident, with_timeline: bool) -> dict:
+        entry = {
+            "id": incident.incident_id,
+            "class": incident.incident_class,
+            "signature": incident.signature,
+            "state": incident.state,
+            "severity": incident.severity,
+            "occurrences": incident.occurrences,
+            "opened_at": incident.opened_at,
+            "resolved_at": incident.resolved_at,
+            "summary": incident.summary,
+        }
+        if with_timeline:
+            entry["timeline"] = [
+                {"time": time, "phase": phase, "detail": detail}
+                for time, phase, detail in incident.timeline
+            ]
+        return entry
+
+    if incident_id is not None:
+        incident = manager.incident(incident_id)
+        return {"enabled": True,
+                "incidents": [_incident(incident, with_timeline=True)]}
+
+    outcomes: dict[str, int] = {}
+    for record in manager.remediations():
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+    return {
+        "enabled": True,
+        "incidents": [_incident(i, with_timeline=False)
+                      for i in manager.incidents()],
+        "remediations": outcomes,
+    }

@@ -324,3 +324,80 @@ def _short(value, width: int = 28) -> str:
         return f"{value:.6g}"
     text = str(value)
     return text if len(text) <= width else text[:width - 1] + "…"
+
+
+def governor_snapshot(sqlcm) -> dict:
+    """Overload-governor state as a plain dict (service ``status``).
+
+    The JSON twin of :func:`governor_status`: ladder position, overhead
+    ratios, shed counters, suspensions, and the recent transition tail —
+    everything the text report shows, in machine-readable form.
+    """
+    governor = sqlcm.governor
+    if governor is None:
+        return {"enabled": False}
+    info = dict(governor.describe())
+    policy = governor.policy
+    info["enabled"] = True
+    info["policy"] = {
+        "target_overhead": policy.target_overhead,
+        "exit_overhead": policy.exit_overhead,
+        "window": policy.window,
+        "cooldown": policy.cooldown,
+        "decision_interval": policy.decision_interval,
+        "sample_rate": policy.sample_rate,
+    }
+    info["recent_transitions"] = [
+        {"time": t.time, "from": t.from_state, "to": t.to_state,
+         "reason": t.reason, "overhead_ratio": t.overhead_ratio,
+         "estimated_ratio": t.estimated_ratio}
+        for t in governor.transitions[-10:]
+    ]
+    return info
+
+
+def activity_snapshot(server, limit: int = 10) -> dict:
+    """Server activity as a plain dict (service ``status``).
+
+    Active queries, the recent-completion tail, and current blocking
+    pairs — the JSON twin of :func:`server_activity` +
+    :func:`blocking_health`.
+    """
+    now = server.clock.now
+
+    def _query(q):
+        return {
+            "query_id": q.query_id,
+            "state": q.state.value,
+            "user": q.user,
+            "duration": q.duration_at(now),
+            "times_blocked": q.times_blocked,
+            "time_blocked": q.time_blocked,
+            "error": q.error,
+            "text": q.text,
+        }
+
+    blocking = []
+    for ticket, holder_txn, resource in server.locks.blocking_pairs():
+        blocker = server.current_query_of_txn(holder_txn)
+        blocking.append({
+            "blocked_query": (ticket.qctx.query_id
+                              if ticket.qctx is not None else None),
+            "waiting_for": now - ticket.requested_at,
+            "resource": str(resource),
+            "blocker_query": (blocker.query_id
+                              if blocker is not None else None),
+            "blocker_txn": holder_txn,
+        })
+    return {
+        "time": now,
+        "sessions": len(server._sessions),
+        "active_queries": [_query(q) for q in server.active_queries()],
+        "completed_queries": [
+            _query(q)
+            for q in getattr(server, "completed_queries", [])[-limit:]
+        ],
+        "blocking": blocking,
+        "deadlocks_detected": server.locks.deadlocks_detected,
+        "monitor_cost_total": server.monitor_cost_total,
+    }

@@ -1,0 +1,33 @@
+"""Network service tier: many clients, one monitored engine.
+
+SQLCM's premise is a monitor embedded in an engine that serves many
+concurrent clients; this package is that server surface.  A
+:class:`MonitorService` (asyncio TCP, JSON-lines) owns one
+``DatabaseServer``+``SQLCM`` pair, gives each connection an engine
+session, serves SQL and monitoring commands, pushes stream-alert and
+incident events to subscribers, and applies the overload governor's
+admission control to client requests (explicit ``overloaded``
+backpressure with retry-after past SAMPLED).  See
+:mod:`repro.service.protocol` for the wire format and
+:class:`ServiceClient` for the synchronous client.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (PROTOCOL_VERSION, SERVER_NAME, TOPICS,
+                                    Push, Request, Response)
+from repro.service.server import (MonitorService, ServiceConfig,
+                                  ServiceRunner, serve_main)
+
+__all__ = [
+    "MonitorService",
+    "ServiceConfig",
+    "ServiceRunner",
+    "ServiceClient",
+    "serve_main",
+    "PROTOCOL_VERSION",
+    "SERVER_NAME",
+    "TOPICS",
+    "Request",
+    "Response",
+    "Push",
+]

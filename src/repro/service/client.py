@@ -1,0 +1,235 @@
+"""Synchronous convenience client for the monitoring service.
+
+A thin blocking socket wrapper used by tests, benchmarks, and the CLI:
+one socket, one engine session, strict request/response with pushed
+frames buffered on the side (read them with :meth:`ServiceClient.drain_pushes`
+or wait for one with :meth:`ServiceClient.wait_push`).  Server-side error
+replies become :class:`~repro.errors.ServiceError` with the wire ``code``
+and, for backpressure, the ``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import (PROTOCOL_VERSION, Push, Response,
+                                    decode_frame, encode_frame,
+                                    parse_server_frame)
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.MonitorService`.
+
+    ``connect`` + ``hello`` happen in the constructor; use as a context
+    manager to guarantee the goodbye/close on the way out.
+    """
+
+    def __init__(self, host: str, port: int, *, user: str = "dbo",
+                 credential: str | None = None,
+                 application: str = "service-client",
+                 criticality: str | None = None,
+                 timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self.pushes: list[Push] = []
+        self.closed = False
+        payload: dict[str, Any] = {
+            "version": PROTOCOL_VERSION,
+            "user": user,
+            "application": application,
+        }
+        if credential is not None:
+            payload["credential"] = credential
+        if criticality is not None:
+            payload["criticality"] = criticality
+        try:
+            self.hello = self.call("hello", **payload)
+        except Exception:
+            self.close()
+            raise
+        self.session_id = self.hello["session_id"]
+
+    # -- wire -------------------------------------------------------------
+
+    def _send(self, frame: dict) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _read_frame(self) -> Response | Push:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection",
+                               code="connection_closed")
+        return parse_server_frame(decode_frame(line))
+
+    def request(self, op: str, **payload) -> Response:
+        """Send one request and block for its response.
+
+        Push frames arriving in between are buffered into ``pushes``.
+        """
+        if self.closed:
+            raise ServiceError("client is closed", code="connection_closed")
+        request_id = self._next_id
+        self._next_id += 1
+        self._send({"id": request_id, "op": op, **payload})
+        while True:
+            frame = self._read_frame()
+            if isinstance(frame, Push):
+                self.pushes.append(frame)
+                continue
+            if frame.request_id != request_id:
+                raise ProtocolError(
+                    f"response id {frame.request_id} does not match "
+                    f"request id {request_id}")
+            return frame
+
+    def call(self, op: str, **payload) -> dict:
+        """`request` that unwraps success or raises :class:`ServiceError`."""
+        response = self.request(op, **payload)
+        if response.ok:
+            return response.data or {}
+        raise ServiceError(response.message or response.code,
+                           code=response.code,
+                           retry_after=response.retry_after)
+
+    # -- convenience ops --------------------------------------------------
+
+    def sql(self, sql: str, params: dict | None = None,
+            criticality: str | None = None) -> dict:
+        payload: dict[str, Any] = {"sql": sql}
+        if params:
+            payload["params"] = params
+        if criticality is not None:
+            payload["criticality"] = criticality
+        return self.call("sql", **payload)
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def status(self) -> dict:
+        return self.call("status")
+
+    def metrics(self) -> dict:
+        return self.call("metrics")
+
+    def incidents(self, incident_id: int | None = None) -> dict:
+        payload = ({"incident_id": incident_id}
+                   if incident_id is not None else {})
+        return self.call("incidents", **payload)
+
+    def investigate(self, incident_id: int, window: float = 5.0) -> dict:
+        return self.call("investigate", incident_id=incident_id,
+                         window=window)
+
+    def install_lat(self, name: str, **spec) -> dict:
+        return self.call("install_lat", name=name, **spec)
+
+    def install_rule(self, name: str, event: str,
+                     actions: list[dict], **spec) -> dict:
+        return self.call("install_rule", name=name, event=event,
+                         actions=actions, **spec)
+
+    def remove_rule(self, name: str) -> dict:
+        return self.call("remove_rule", name=name)
+
+    def install_stream(self, text: str, **spec) -> dict:
+        return self.call("install_stream", text=text, **spec)
+
+    def subscribe(self, *topics: str) -> dict:
+        return self.call("subscribe", topics=list(topics))
+
+    def unsubscribe(self, *topics: str) -> dict:
+        return self.call("unsubscribe", topics=list(topics))
+
+    def cancel(self, query_id: int) -> dict:
+        return self.call("cancel", query_id=query_id)
+
+    # -- pushes -----------------------------------------------------------
+
+    def drain_pushes(self, topic: str | None = None) -> list[Push]:
+        """Take the buffered pushes (optionally only one topic's)."""
+        if topic is None:
+            taken, self.pushes = self.pushes, []
+            return taken
+        taken = [p for p in self.pushes if p.topic == topic]
+        self.pushes = [p for p in self.pushes if p.topic != topic]
+        return taken
+
+    def wait_push(self, timeout: float = 5.0,
+                  topic: str | None = None) -> Push:
+        """Block until a push arrives (wall-clock timeout).
+
+        Buffered pushes satisfy the wait immediately; otherwise the
+        socket is read (pings keep request/response traffic possible only
+        from other threads — this call owns the socket while waiting).
+        """
+        buffered = self.drain_pushes(topic)
+        if buffered:
+            self.pushes = buffered[1:] + self.pushes
+            return buffered[0]
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(timeout)
+        try:
+            while True:
+                frame = self._read_frame()
+                if isinstance(frame, Push):
+                    if topic is None or frame.topic == topic:
+                        return frame
+                    self.pushes.append(frame)
+                else:
+                    raise ProtocolError(
+                        f"unexpected response frame (id={frame.request_id})"
+                        " while waiting for a push")
+        except socket.timeout:
+            raise ServiceError(
+                f"no {topic or 'push'} frame within {timeout}s",
+                code="timeout") from None
+        finally:
+            self._sock.settimeout(previous)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._send({"id": self._next_id, "op": "goodbye"})
+        except OSError:
+            pass
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def disconnect_abruptly(self) -> None:
+        """Drop the socket without goodbye (tests: mid-txn disconnect).
+
+        ``shutdown`` forces the FIN out even though the ``makefile``
+        wrapper still holds a reference to the descriptor.
+        """
+        self.closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

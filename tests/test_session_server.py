@@ -5,6 +5,7 @@ import pytest
 from repro import DatabaseServer, IfStep, ProcedureDef, Statement
 from repro.engine.query import QueryState
 from repro.errors import EngineError
+from repro.sim.scheduler import SchedulerStalledError
 
 
 class TestScripts:
@@ -209,3 +210,61 @@ class TestServerSurface:
     def test_ddl_requires_ddl_statement(self, server):
         with pytest.raises(EngineError):
             server.execute_ddl("SELECT 1")
+
+
+class TestSessionTeardown:
+    """Regression: close_session must not leave an abandoned session's
+    locks alive (a vanished client used to block everyone forever)."""
+
+    def test_close_mid_transaction_rolls_back_and_releases_locks(
+            self, items_server):
+        alice = items_server.create_session(user="alice")
+        bob = items_server.create_session(user="bob")
+        alice.execute("BEGIN")
+        alice.execute("UPDATE items SET qty = 999 WHERE id = 1")
+        assert alice.current_txn is not None
+
+        items_server.close_session(alice)
+
+        # the transaction is gone and its X lock with it
+        assert alice.current_txn is None
+        assert items_server.locks.blocking_pairs() == []
+        result = bob.execute("UPDATE items SET qty = 5 WHERE id = 1")
+        assert result.error is None
+        # and the abandoned update was rolled back, not committed
+        assert bob.execute(
+            "SELECT qty FROM items WHERE id = 1").rows == [(5,)]
+
+    def test_close_while_statement_blocked_cancels_it(self, items_server):
+        holder = items_server.create_session(user="holder")
+        waiter = items_server.create_session(user="waiter")
+        holder.execute("BEGIN")
+        holder.execute("UPDATE items SET qty = 1 WHERE id = 1")
+
+        proc = items_server.scheduler.spawn(
+            "waiter", waiter.statement_process(
+                "UPDATE items SET qty = 2 WHERE id = 1"))
+        waiter.process = proc
+        try:
+            items_server.run(until=items_server.clock.now + 0.5)
+        except SchedulerStalledError:
+            pass  # only the lock-blocked waiter is live: a stall is normal
+        assert waiter.current_query.state is QueryState.BLOCKED
+
+        # the waiter's client vanishes while its statement is parked on
+        # the lock: the statement is cancelled, the session drains clean
+        items_server.close_session(waiter)
+        items_server.run(until=items_server.clock.now + 0.5)
+        assert proc.done
+        assert proc.result.error is not None
+        assert "cancel" in proc.result.error.lower()
+        assert waiter.current_txn is None
+
+        # the holder is unaffected and can commit
+        assert holder.execute("COMMIT").error is None
+
+    def test_close_idle_session_stays_cheap(self, items_server):
+        session = items_server.create_session(user="idle")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        items_server.close_session(session)
+        assert items_server.session(session.session_id) is None
