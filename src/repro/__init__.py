@@ -14,6 +14,9 @@ four layers:
 * :mod:`repro.service` — the network service tier: an asyncio TCP
   JSON-lines server multiplexing many client connections onto one
   monitored engine, with governed admission and pushed alerts.
+* :mod:`repro.shard` — the sharded parallel dispatch tier: events
+  partitioned by replay-stable keys across shard-local monitors, merged
+  at the report boundary, with a serial-equivalence determinism proof.
 
 Quickstart::
 
@@ -53,6 +56,8 @@ from repro.errors import ReproError
 from repro.obs import Observability
 from repro.service import (MonitorService, ServiceClient, ServiceConfig,
                            ServiceRunner)
+from repro.shard import (EventTrace, Partitioner, SerialShardExecutor,
+                         ShardedSQLCM, ThreadShardExecutor)
 from repro.sim import CostModel, SimClock
 
 __version__ = "1.0.0"
@@ -100,6 +105,11 @@ __all__ = [
     "ServiceConfig",
     "ServiceRunner",
     "ServiceClient",
+    "ShardedSQLCM",
+    "Partitioner",
+    "EventTrace",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
     "ReproError",
     "__version__",
 ]

@@ -334,6 +334,25 @@ class AgingState:
             combined = self.func.combine(combined, state)
         return self.func.result(combined)
 
+    def copy(self) -> "AgingState":
+        clone = AgingState(self.func, self.spec)
+        clone.blocks.extend(self.blocks)
+        return clone
+
+    def merge_from(self, other: "AgingState") -> None:
+        """Merge another partition's blocks into this state.
+
+        Blocks with the same start combine via the aggregate's mergeable
+        state; distinct blocks interleave by start time.  This is the
+        aging-aggregate leg of the shard merge (see repro.shard)."""
+        merged: dict[float, Any] = dict(self.blocks)
+        for start, state in other.blocks:
+            if start in merged:
+                merged[start] = self.func.combine(merged[start], state)
+            else:
+                merged[start] = state
+        self.blocks = deque(sorted(merged.items()))
+
     @property
     def block_count(self) -> int:
         return len(self.blocks)

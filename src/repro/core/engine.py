@@ -24,6 +24,7 @@ Design contracts from the paper honored here:
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Any, Callable, Iterable
 
@@ -56,12 +57,25 @@ _INSTANCE_ATTRS = {"number_of_instances"}
 class SQLCM:
     """SQL Continuous Monitoring engine, embedded in a database server."""
 
+    # bus hook points the monitor listens on (query.compile is separate:
+    # it routes through _on_compile for signature fill-in first)
+    SUBSCRIBED_EVENTS = (
+        "query.start", "query.commit", "query.cancel",
+        "query.rollback", "query.blocked", "query.block_released",
+        "txn.begin", "txn.commit", "txn.rollback", "session.login",
+        "session.login_failed", "session.logout", "sqlcm.stream_alert",
+    )
+
     def __init__(self, server, schema: SQLCMSchema | None = None,
                  faults: FaultInjector | None = None,
                  quarantine: QuarantinePolicy | None = None,
                  retry: RetryPolicy | None = None,
-                 governor: GovernorPolicy | None = None):
+                 governor: GovernorPolicy | None = None,
+                 subscribe: bool = True):
         self.server = server
+        # False for shard-local instances: events arrive via explicit
+        # delivery from the ShardedSQLCM router, not the server's bus
+        self.bus_subscribed = subscribe
         self.schema = schema or SCHEMA
         # overload governor (closed-loop degradation); off unless enabled
         self.governor: OverloadGovernor | None = None
@@ -99,14 +113,10 @@ class SQLCM:
         self._streams = None
         # the incident manager too; see incident_manager()
         self._incidents = None
-        for event in ("query.start", "query.commit", "query.cancel",
-                      "query.rollback", "query.blocked",
-                      "query.block_released", "txn.begin", "txn.commit",
-                      "txn.rollback", "session.login",
-                      "session.login_failed", "session.logout",
-                      "sqlcm.stream_alert"):
-            server.events.subscribe(event, self._on_engine_event)
-        server.events.subscribe("query.compile", self._on_compile)
+        if subscribe:
+            for event in self.SUBSCRIBED_EVENTS:
+                server.events.subscribe(event, self._on_engine_event)
+            server.events.subscribe("query.compile", self._on_compile)
         if governor is not None:
             self.enable_governor(governor)
 
@@ -193,7 +203,13 @@ class SQLCM:
         if rule is None:
             raise RuleError(f"unknown rule {name!r}")
         self._rule_order.remove(rule)
-        self._rules_by_event[rule.event_def.engine_event].remove(rule)
+        event = rule.event_def.engine_event
+        peers = self._rules_by_event[event]
+        peers.remove(rule)
+        if not peers:
+            # drop the key outright: under rule churn, keeping empty lists
+            # keyed grows the dict without bound
+            del self._rules_by_event[event]
         # the health record goes with the rule: a later rule reusing the
         # name must not inherit error counts or quarantine state
         self.health.drop(rule.name)
@@ -377,6 +393,15 @@ class SQLCM:
         return False
 
     def _on_compile(self, event: str, payload: dict) -> None:
+        self._fill_signatures(payload)
+        self._on_engine_event(event, payload)
+
+    def _fill_signatures(self, payload: dict) -> None:
+        """Compute (or copy from the plan cache) the statement signatures.
+
+        Separated from :meth:`_on_compile` so a sharded deployment can run
+        the fill exactly once on the control plane before routing the
+        compile event to a shard."""
         entry = payload["entry"]
         qctx = payload["query"]
         if self.signatures_needed and entry.logical_signature is None:
@@ -395,7 +420,6 @@ class SQLCM:
                     linearize_physical(entry.physical))
         qctx.logical_signature = entry.logical_signature
         qctx.physical_signature = entry.physical_signature
-        self._on_engine_event(event, payload)
 
     def instance_count(self, logical_signature: bytes | None) -> int:
         if logical_signature is None:
@@ -445,6 +469,9 @@ class SQLCM:
         self._event_queue.append((event, payload))
         if self._dispatching:
             return
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
         self._dispatching = True
         try:
             while self._event_queue:
@@ -457,6 +484,19 @@ class SQLCM:
             # later unrelated event does not drain another event's queue
             self._event_queue.clear()
 
+    def _defer_event(self, event: str, payload: dict) -> None:
+        """Deliver a monitor-raised event under the dispatch contract.
+
+        Inside a dispatch the event queues behind the current event's
+        remaining rules (deferred side effects, Section 5).  Outside any
+        dispatch — restore paths, direct LAT inserts, stream ``flush()`` —
+        it drains immediately: parking it in the queue would hand it to the
+        *next unrelated* event's dispatch (wrong attribution) or lose it to
+        that dispatch's ``clear()`` backstop."""
+        self._event_queue.append((event, payload))
+        if not self._dispatching:
+            self._drain_queue()
+
     def enqueue_evict_event(self, lat_name: str, row: dict) -> None:
         """Called by InsertAction when a LAT row is evicted."""
         if self._rules_by_event.get("lat.evict"):
@@ -464,9 +504,7 @@ class SQLCM:
                 self.check_fault("lat.evict")
             except FaultInjected:
                 return  # this eviction notification is lost (counted)
-            self._event_queue.append(
-                ("lat.evict", {"lat": lat_name, "row": row})
-            )
+            self._defer_event("lat.evict", {"lat": lat_name, "row": row})
 
     def _process_event(self, event: str, payload: dict) -> None:
         if self.governor is not None:
@@ -805,14 +843,41 @@ class SQLCM:
         if self._rules_by_event.get("sqlcm.rule_error") and \
                 rule.event_def is not None and \
                 rule.event_def.engine_event != "sqlcm.rule_error":
-            self._event_queue.append(("sqlcm.rule_error", {
+            self._defer_event("sqlcm.rule_error", {
                 "rule": rule.name,
                 "site": site,
                 "error": f"{type(error).__name__}: {error}",
                 "error_count": health.error_count,
                 "quarantined": newly_quarantined or health.quarantined,
                 "time": now,
-            }))
+            })
+
+    # ------------------------------------------------------------------
+    # state digest (determinism proof surface)
+    # ------------------------------------------------------------------
+
+    def state_digest(self) -> int:
+        """Replay-stable digest over the monitor's observable state.
+
+        CRC32 of a canonical tuple: per-LAT integrity signatures, per-rule
+        firing/evaluation counters, instance counts, and the handled/fired
+        totals.  Two monitors that processed the same trace — serially, or
+        sharded and merged (see :mod:`repro.shard`) — produce the same
+        digest; this reuses the governor's ``sample_digest`` technique of
+        order-independent CRC accumulation over replay-stable inputs."""
+        return zlib.crc32(repr(self._digest_parts()).encode())
+
+    def _digest_parts(self) -> tuple:
+        lats = tuple((name, self._lats[name].integrity_signature())
+                     for name in sorted(self._lats))
+        rules = tuple((r.name, r.fire_count, r.evaluation_count)
+                      for r in sorted(self._rule_order,
+                                      key=lambda r: r.name))
+        instances = tuple(sorted(
+            (sig.hex(), count)
+            for sig, count in self._instance_counts.items()))
+        return (lats, rules, instances,
+                self.events_handled, self.rule_firings)
 
     # ------------------------------------------------------------------
     # persistence (Persist action + LAT restore)

@@ -427,6 +427,47 @@ class LAT:
             return (count, value, 0.0)
         return func.update(func.new_state(), value)  # pragma: no cover
 
+    def merge_from(self, other: "LAT") -> list[dict]:
+        """Merge another partition of the same LAT definition into this one.
+
+        The shard merge boundary (see repro.shard): per-group aggregate
+        states combine via each function's mergeable state — the same
+        ``combine`` the stream subsystem uses to merge window panes — so a
+        partitioned LAT merged back together equals the LAT a serial run
+        would have built, provided every group's inserts landed in one
+        partition (group key aligned with the partition key).  FIRST/LAST
+        on a *split* group resolve in merge order (shard 0 first), and
+        size limits are enforced once here, at the boundary, not during
+        per-shard inserts.  Returns rows evicted by that enforcement.
+        """
+        if [c.lower() for c in other.definition.column_names()] != \
+                [c.lower() for c in self.definition.column_names()]:
+            raise LATError(
+                f"cannot merge LAT {other.definition.name!r} into "
+                f"{self.definition.name!r}: column shapes differ")
+        specs = self.definition.aggregations
+        for key, row in other._rows.items():
+            mine = self._rows.get(key)
+            if mine is None:
+                states = [
+                    state.copy() if isinstance(state, AgingState) else state
+                    for state in row.states
+                ]
+                self._rows[key] = _Row(key, states, self._seq)
+                self._seq += 1
+            else:
+                for i, func in enumerate(self._functions):
+                    theirs = row.states[i]
+                    if isinstance(theirs, AgingState):
+                        mine.states[i].merge_from(theirs)
+                    else:
+                        mine.states[i] = func.combine(mine.states[i], theirs)
+                mine.importance = None
+        self.insert_count += other.insert_count
+        self.latch_acquisitions += 1
+        self.peak_rows = max(self.peak_rows, len(self._rows))
+        return self._enforce_limits(self._clock.now)
+
     def integrity_signature(self) -> int:
         """Order-independent CRC over all rows' current column values.
 

@@ -8,6 +8,7 @@ for an event are processed before any event raised as a side effect.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -49,6 +50,24 @@ class Rule:
         if not self.actions:
             raise RuleError(f"rule {self.name!r} needs at least one action")
         self.criticality = validate_criticality(self.criticality)
+
+    def clone(self) -> "Rule":
+        """An unbound copy with fresh statistics.
+
+        Used by the sharded dispatch tier to register the same rule text on
+        every shard: each clone is bound (and its condition compiled)
+        independently by that shard's ``add_rule``, and carries its own
+        fire/evaluation counters, which merge by summation at report time.
+        Actions are shallow-copied — they hold configuration, not state.
+        """
+        return Rule(
+            name=self.name,
+            event=self.event,
+            actions=[copy.copy(action) for action in self.actions],
+            condition=self.condition,
+            enabled=self.enabled,
+            criticality=self.criticality,
+        )
 
     @property
     def atomic_condition_count(self) -> int:

@@ -430,19 +430,25 @@ class Optimizer:
         # fractions of the table fall back to a scan (with lock escalation)
         if best is not None and (best[0] <= 0.25 * row_count or best[0] <= 2):
             est, index, eq_prefix, range_sargs = best
-            used = {s.source for s in eq_prefix} | \
-                   {s.source for s in range_sargs}
-            leftover = residual + [s.source for s in sargs
-                                   if s.source not in used]
             low_fn = high_fn = None
             low_inc = high_inc = True
+            consumed: list[_Sarg] = []
             for sarg in range_sargs:
-                if sarg.op in (">", ">="):
+                if sarg.op in (">", ">=") and low_fn is None:
                     low_fn = sarg.value_fn
                     low_inc = sarg.op == ">="
-                elif sarg.op in ("<", "<="):
+                    consumed.append(sarg)
+                elif sarg.op in ("<", "<=") and high_fn is None:
                     high_fn = sarg.value_fn
                     high_inc = sarg.op == "<="
+                    consumed.append(sarg)
+            # the seek can honour at most one bound per side; duplicate
+            # bounds on the same side (``a < 0 AND a <= 1``) stay behind as
+            # residual filters instead of being silently dropped
+            used = {s.source for s in eq_prefix} | \
+                   {s.source for s in consumed}
+            leftover = residual + [s.source for s in sargs
+                                   if s.source not in used]
             filter_pred = conjoin(leftover)
             plan = phys.PhysIndexSeek(
                 table=table,

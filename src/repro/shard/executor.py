@@ -1,0 +1,52 @@
+"""Shard executors: run per-shard work serially or on a thread pool.
+
+An executor receives one zero-argument callable per shard and runs them
+all, returning results in shard order.  Correctness never depends on the
+executor: each callable touches only its own shard's state (LAT
+partitions, window panes, attribution, clock view), so any interleaving
+produces the same merged result — the determinism tests run the same
+trace through both executors and compare digests.
+
+The thread executor exists for wall-clock overlap where the workload
+allows it (the GIL serializes pure-Python bytecode, so wall speedup is
+modest); the *virtual-time* scaling reported by ``bench_p1_shards`` is
+makespan-based — max over shards of accumulated monitoring cost — and is
+executor-independent by construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+
+class SerialShardExecutor:
+    """Run shard tasks one after another, in shard order."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list:
+        return [task() for task in tasks]
+
+
+class ThreadShardExecutor:
+    """Run shard tasks on a bounded thread pool.
+
+    Results come back in shard order regardless of completion order.
+    A fresh pool per ``run`` keeps the executor stateless and safe to
+    share between runs.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list:
+        if not tasks:
+            return []
+        workers = self.max_workers or len(tasks)
+        with ThreadPoolExecutor(max_workers=min(workers,
+                                                len(tasks))) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]

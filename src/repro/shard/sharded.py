@@ -1,0 +1,564 @@
+"""The sharded dispatch tier: N shard-local monitors behind one facade.
+
+:class:`ShardedSQLCM` partitions the event stream across ``n_shards``
+worker shards (see :mod:`repro.shard.partition`).  Each shard owns a full
+shard-local :class:`~repro.core.engine.SQLCM` — its own LAT partitions,
+stream panes, rule clones, timers, and fault-isolation state — built
+against a :class:`ShardServer` proxy so the per-event dispatch path is a
+pure function of (shard-local state, event): no shard ever writes another
+shard's state, which is what makes the executor choice irrelevant to the
+result.  Shard state merges at the report boundary exactly the way window
+panes merge — via the aggregate functions' mergeable ``combine`` states
+(``LAT.merge_from`` / ``WindowState.merge_from``).
+
+Two modes:
+
+* **live** (``subscribe=True``): the facade subscribes to the server's
+  bus once and routes each event synchronously to its shard.  Monitoring
+  costs forward to the real server pool (sessions drain them into
+  virtual time as usual) with per-shard totals tallied alongside; one
+  overload-governor ladder observes the pooled cost and its admission
+  decisions apply inside every shard.
+* **replay** (``subscribe=False``): a harness over a recorded
+  :class:`~repro.shard.partition.EventTrace`.  Each shard processes its
+  partition of the trace with a shard-local clock view pinned to each
+  event's recorded time, accumulating costs and attribution entirely
+  shard-locally — so partitions can run on a thread pool
+  (:class:`~repro.shard.executor.ThreadShardExecutor`) without touching
+  shared state.  The virtual makespan (max per-shard cost) is the
+  sharded tier's cost model: events/makespan is the throughput the
+  P1 bench reports.
+
+Determinism proof: :meth:`state_digest` builds the same canonical tuple
+as :meth:`SQLCM._digest_parts` from *merged* shard state, so a sharded
+run on any shard count — under any executor — must digest-equal the
+serial run on the same trace whenever the monitored group keys align
+with the partition key.  See DESIGN.md section 12.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable
+
+from repro.core.engine import SQLCM
+from repro.core.governor import GovernorPolicy, OverloadGovernor
+from repro.core.lat import LAT, LATDefinition
+from repro.core.rules import Rule
+from repro.core.schema import SCHEMA, SQLCMSchema
+from repro.engine.events import EventBus
+from repro.errors import LATError, RuleError, StreamError
+from repro.obs.attribution import CostAttribution
+from repro.shard.executor import SerialShardExecutor
+from repro.shard.partition import EventTrace, Partitioner
+from repro.stream.windows import WindowState
+
+
+class ShardClock:
+    """A shard's view of the virtual clock.
+
+    Live mode reads through to the real clock; replay pins ``now`` to the
+    recorded time of the event being processed, so per-shard progress is
+    independent of every other shard's position in its own partition.
+    """
+
+    __slots__ = ("_base", "_override")
+
+    def __init__(self, base):
+        self._base = base
+        self._override: float | None = None
+
+    @property
+    def now(self) -> float:
+        override = self._override
+        return self._base.now if override is None else override
+
+    def pin(self, t: float) -> None:
+        self._override = t
+
+    def unpin(self) -> None:
+        self._override = None
+
+
+class ShardObs:
+    """Replay-mode observability facade: shard-local attribution only.
+
+    ``enabled`` stays False so the dispatch hot path skips span/metric
+    branches, but attribution frames still open — every charge the shard
+    makes is tallied against the innermost frame of the *shard's own*
+    :class:`CostAttribution`, which therefore satisfies the conservation
+    invariant locally (and after merging, globally).
+    """
+
+    enabled = False
+    tracing_enabled = False
+
+    __slots__ = ("attribution",)
+
+    class _Frame:
+        __slots__ = ("_attribution",)
+
+        def __init__(self, attribution, kind, name):
+            self._attribution = attribution
+            attribution.push(kind, name)
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            self._attribution.pop()
+
+    class _Null:
+        __slots__ = ()
+
+        def __enter__(self):
+            return None
+
+        def __exit__(self, *exc):
+            return None
+
+    _NULL = _Null()
+
+    def __init__(self):
+        self.attribution = CostAttribution()
+
+    def account(self, seconds: float) -> None:
+        self.attribution.account(seconds)
+
+    def attrib(self, kind: str, name: str) -> "_Frame":
+        return self._Frame(self.attribution, kind, name)
+
+    def span(self, name: str, category: str = "sqlcm", **args: Any):
+        return self._NULL
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+class ShardServer:
+    """Per-shard server proxy: shard-local clock, costs, obs, and bus.
+
+    Reads of engine state (tables, catalog, locks, sessions) forward to
+    the real server; everything a shard *writes* during dispatch is
+    shard-local or — in live mode — an explicitly forwarded cost charge.
+    The shard-local event bus keeps monitor-raised events (stream alerts)
+    inside the raising shard, preserving the in-shard cascade ordering
+    that makes per-shard work executor-independent.
+    """
+
+    def __init__(self, server, shard_id: int, live: bool):
+        self._real = server
+        self.shard_id = shard_id
+        self.live = live
+        self.clock = ShardClock(server.clock)
+        self.costs = server.costs
+        self.events = EventBus()
+        self.cost_total = 0.0
+        self._pending = 0.0
+        self._shard_obs = ShardObs()
+
+    @property
+    def obs(self):
+        # live shards share the real facade (global attribution, spans,
+        # metrics all behave exactly as in a serial deployment); replay
+        # shards tally attribution locally so threads never share state
+        return self._real.obs if self.live else self._shard_obs
+
+    @property
+    def shard_attribution(self) -> CostAttribution:
+        return self._shard_obs.attribution
+
+    def add_monitor_cost(self, seconds: float) -> None:
+        self.cost_total += seconds
+        if self.live:
+            self._real.add_monitor_cost(seconds)
+        else:
+            self._pending += seconds
+            self._shard_obs.account(seconds)
+
+    @property
+    def monitor_cost_total(self) -> float:
+        return self._real.monitor_cost_total if self.live else self.cost_total
+
+    def take_monitor_cost(self) -> float:
+        if self.live:
+            return self._real.take_monitor_cost()
+        cost = self._pending
+        self._pending = 0.0
+        return cost
+
+    def __getattr__(self, name: str):
+        return getattr(self._real, name)
+
+
+class ShardState:
+    """One worker shard: proxy + shard-local SQLCM + its trace partition."""
+
+    def __init__(self, shard_id: int, server, schema: SQLCMSchema,
+                 live: bool):
+        self.shard_id = shard_id
+        self.proxy = ShardServer(server, shard_id, live)
+        self.sqlcm = SQLCM(self.proxy, schema=schema, subscribe=False)
+        # monitor-raised meta-events stay in-shard: the stream engine
+        # publishes alerts on the shard-local bus, and the shard's own
+        # rule engine consumes them there
+        self.proxy.events.subscribe("sqlcm.stream_alert", self.deliver)
+        self.events_routed = 0
+
+    def deliver(self, event: str, payload: dict) -> None:
+        """Process one event entirely within this shard."""
+        self.events_routed += 1
+        if event == "query.compile":
+            self.sqlcm._on_compile(event, payload)
+        else:
+            self.sqlcm._on_engine_event(event, payload)
+        streams = self.sqlcm._streams
+        if streams is not None:
+            streams.deliver(event, payload)
+
+    def replay(self, partition: list, end_time: float) -> float:
+        """Replay this shard's trace partition; returns the cost total."""
+        clock = self.proxy.clock
+        for event, payload, t in partition:
+            clock.pin(t)
+            self.deliver(event, payload)
+        clock.pin(end_time)
+        # the replay ends at the report boundary: emit every window
+        # boundary due by then, exactly as the serial engine's lazy
+        # flush would have on its next event
+        streams = self.sqlcm._streams
+        if streams is not None:
+            streams.flush(end_time)
+        return self.proxy.cost_total
+
+
+class ShardedSQLCM:
+    """Facade over N shard-local monitors with merge-at-report semantics.
+
+    Control-plane operations (``create_lat`` / ``add_rule`` /
+    ``register_stream`` / ``remove_rule``) fan out to every shard; the
+    data plane routes each event to exactly one shard.  Reporting reads
+    merge shard state on demand — nothing is merged on the hot path.
+    """
+
+    def __init__(self, server, n_shards: int = 4,
+                 schema: SQLCMSchema | None = None,
+                 partitioner: Partitioner | None = None,
+                 query_key: str = "query",
+                 subscribe: bool = True,
+                 governor: GovernorPolicy | None = None):
+        if partitioner is not None and partitioner.n_shards != n_shards:
+            raise ValueError(
+                f"partitioner covers {partitioner.n_shards} shards, "
+                f"facade was asked for {n_shards}")
+        self.server = server
+        self.schema = schema or SCHEMA
+        self.n_shards = n_shards
+        self.partitioner = partitioner or Partitioner(n_shards, query_key)
+        self.live = subscribe
+        self.shards = [
+            ShardState(i, server, self.schema, live=subscribe)
+            for i in range(n_shards)
+        ]
+        self.rules: dict[str, Rule] = {}  # templates, unbound
+        self._lat_definitions: dict[str, LATDefinition] = {}
+        self.governor: OverloadGovernor | None = None
+        self.events_routed = 0
+        if subscribe:
+            for event in SQLCM.SUBSCRIBED_EVENTS:
+                server.events.subscribe(event, self._on_engine_event)
+            server.events.subscribe("query.compile", self._on_compile)
+        if governor is not None:
+            self.enable_governor(governor)
+
+    # ------------------------------------------------------------------
+    # control plane: fan registrations out to every shard
+    # ------------------------------------------------------------------
+
+    def create_lat(self, definition: LATDefinition,
+                   structure: type[LAT] = LAT) -> list[LAT]:
+        """Create one LAT partition per shard; returns the partitions."""
+        created = [shard.sqlcm.create_lat(definition, structure)
+                   for shard in self.shards]
+        self._lat_definitions[definition.name.lower()] = definition
+        return created
+
+    def drop_lat(self, name: str) -> None:
+        for shard in self.shards:
+            shard.sqlcm.drop_lat(name)
+        self._lat_definitions.pop(name.lower(), None)
+
+    def add_rule(self, rule: Rule) -> Rule:
+        """Register a rule on every shard (each shard binds its own clone).
+
+        The passed rule stays unbound as the template; per-shard clones
+        carry the statistics, merged by :meth:`rule_stats`."""
+        key = rule.name.lower()
+        if key in self.rules:
+            raise RuleError(f"rule {rule.name!r} already exists")
+        for shard in self.shards:
+            shard.sqlcm.add_rule(rule.clone())
+        self.rules[key] = rule
+        return rule
+
+    def remove_rule(self, name: str) -> None:
+        for shard in self.shards:
+            shard.sqlcm.remove_rule(name)
+        self.rules.pop(name.lower(), None)
+
+    def enable_rule(self, name: str, enabled: bool = True) -> None:
+        for shard in self.shards:
+            shard.sqlcm.enable_rule(name, enabled)
+
+    def register_stream(self, text: str, **kwargs):
+        """Register a continuous stream query on every shard."""
+        return [shard.sqlcm.stream_engine().register(text, **kwargs)
+                for shard in self.shards]
+
+    def remove_stream(self, name: str) -> None:
+        for shard in self.shards:
+            if shard.sqlcm._streams is not None:
+                shard.sqlcm._streams.remove(name)
+
+    # governor delegation surface: one ladder reads control-shard
+    # component registries but the *real* server's pooled cost signal
+    @property
+    def _rule_order(self):
+        return self.shards[0].sqlcm._rule_order
+
+    @property
+    def _streams(self):
+        return self.shards[0].sqlcm._streams
+
+    def has_lat(self, name: str) -> bool:
+        return self.shards[0].sqlcm.has_lat(name)
+
+    def lat(self, name: str) -> LAT:
+        return self.shards[0].sqlcm.lat(name)
+
+    def lats(self) -> list[LAT]:
+        return self.shards[0].sqlcm.lats()
+
+    @property
+    def signatures_needed(self) -> bool:
+        return self.shards[0].sqlcm.signatures_needed
+
+    def enable_governor(self, policy: GovernorPolicy | None = None
+                        ) -> OverloadGovernor:
+        """One ladder for all shards, fed by per-shard cost observation.
+
+        Every shard's charges forward into the real server's pool (live
+        mode), the governor observes that pooled signal on each drain,
+        and its admission decisions apply inside every shard's dispatch —
+        per-shard load feeds one closed loop, not N independent ones.
+        """
+        if self.governor is None:
+            self.server.enable_observability()
+            self.governor = OverloadGovernor(self, policy)
+            self.server.attach_governor(self.governor)
+            for shard in self.shards:
+                shard.sqlcm.governor = self.governor
+        return self.governor
+
+    def disable_governor(self) -> None:
+        governor = self.governor
+        if governor is not None:
+            governor.reset()
+            self.server.detach_governor()
+            self.governor = None
+            for shard in self.shards:
+                shard.sqlcm.governor = None
+                shard.sqlcm.sample_weight = 1
+
+    # ------------------------------------------------------------------
+    # data plane: route each event to its shard
+    # ------------------------------------------------------------------
+
+    def _on_engine_event(self, event: str, payload: dict) -> None:
+        self._route(event, payload)
+
+    def _on_compile(self, event: str, payload: dict) -> None:
+        # signature fill happens exactly once, on the control shard,
+        # before routing: the plan-cache entry is shared server state
+        self.shards[0].sqlcm._fill_signatures(payload)
+        self._route(event, payload)
+
+    def _route(self, event: str, payload: dict) -> None:
+        self.events_routed += 1
+        shard = self.shards[self.partitioner.shard_of(event, payload)]
+        shard.deliver(event, payload)
+
+    # ------------------------------------------------------------------
+    # replay: partition a recorded trace, run shards independently
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace: "EventTrace | Iterable",
+                  executor=None) -> dict:
+        """Replay a recorded trace through the shards.
+
+        Returns ``{"events", "makespan", "shard_costs", "end_time"}``
+        where ``makespan`` is the max per-shard accumulated virtual
+        monitoring cost — the sharded tier's virtual completion time.
+        """
+        if self.live:
+            raise RuntimeError(
+                "run_trace needs a replay harness; construct "
+                "ShardedSQLCM with subscribe=False")
+        events = list(trace.events if isinstance(trace, EventTrace)
+                      else trace)
+        end_time = events[-1][2] if events else 0.0
+        # signature prefill (control plane, serial): plan-cache entries
+        # are shared across shards and must not be filled concurrently
+        if self.signatures_needed:
+            for event, payload, __ in events:
+                if event == "query.compile":
+                    self.shards[0].sqlcm._fill_signatures(payload)
+        partitions: list[list] = [[] for __ in self.shards]
+        for record in events:
+            partitions[self.partitioner.shard_of(record[0],
+                                                 record[1])].append(record)
+        runner = executor or SerialShardExecutor()
+        costs = runner.run([
+            (lambda s=shard, p=partition: s.replay(p, end_time))
+            for shard, partition in zip(self.shards, partitions)
+        ])
+        self.events_routed += len(events)
+        return {
+            "events": len(events),
+            "makespan": max(costs) if costs else 0.0,
+            "shard_costs": list(costs),
+            "shard_events": [len(p) for p in partitions],
+            "end_time": end_time,
+        }
+
+    def flush_streams(self, now: float | None = None) -> None:
+        """Emit every due window boundary on every shard (report prep)."""
+        for shard in self.shards:
+            streams = shard.sqlcm._streams
+            if streams is not None:
+                if now is not None and not self.live:
+                    shard.proxy.clock.pin(now)
+                streams.flush(now)
+
+    # ------------------------------------------------------------------
+    # merge boundary: report-time reads over merged shard state
+    # ------------------------------------------------------------------
+
+    def merged_lat(self, name: str) -> LAT:
+        """A fresh LAT holding the merge of every shard's partition.
+
+        Size limits are enforced during the merge (the merge boundary is
+        where a partitioned LAT's global limit is meaningful); the merged
+        LAT reads the real server clock for aging results.
+        """
+        definition = self._lat_definitions.get(name.lower())
+        if definition is None:
+            raise LATError(f"unknown LAT {name!r}")
+        merged = LAT(definition, self.server.clock)
+        for shard in self.shards:
+            merged.merge_from(shard.sqlcm.lat(name))
+        return merged
+
+    def merged_lat_rows(self, name: str) -> list[dict]:
+        return self.merged_lat(name).rows()
+
+    def merged_window(self, stream_name: str) -> WindowState:
+        """The merge of every shard's pane state for one stream query."""
+        first = None
+        merged: WindowState | None = None
+        for shard in self.shards:
+            streams = shard.sqlcm._streams
+            if streams is None:
+                raise StreamError(f"unknown stream query {stream_name!r}")
+            query = streams.query(stream_name)
+            if merged is None:
+                first = query
+                merged = WindowState(query.spec.window, query.window.funcs)
+            merged.merge_from(query.window)
+        assert merged is not None and first is not None
+        return merged
+
+    def merged_attribution(self) -> CostAttribution:
+        """Per-shard attributions folded together (replay mode).
+
+        Each shard's attribution satisfies the conservation invariant
+        locally; the fold preserves it, so the merged per-component sums
+        equal the merged pool total up to float associativity."""
+        merged = CostAttribution()
+        for shard in self.shards:
+            merged.merge_from(shard.proxy.shard_attribution)
+        return merged
+
+    def shard_costs(self) -> list[float]:
+        return [shard.proxy.cost_total for shard in self.shards]
+
+    def rule_stats(self, name: str) -> tuple[int, int]:
+        """Merged ``(fire_count, evaluation_count)`` across shards."""
+        fires = evals = 0
+        for shard in self.shards:
+            rule = shard.sqlcm.rules.get(name.lower())
+            if rule is None:
+                raise RuleError(f"unknown rule {name!r}")
+            fires += rule.fire_count
+            evals += rule.evaluation_count
+        return fires, evals
+
+    # ------------------------------------------------------------------
+    # determinism proof surface
+    # ------------------------------------------------------------------
+
+    def state_digest(self) -> int:
+        """Digest of merged shard state, comparable to SQLCM.state_digest.
+
+        Builds the identical canonical tuple from merged state: merged
+        LAT integrity signatures, summed rule counters, summed instance
+        counts, summed handled/fired totals.  Equality with the serial
+        digest on the same trace is the sharding determinism proof.
+        """
+        lat_parts = tuple(
+            (name, self.merged_lat(name).integrity_signature())
+            for name in sorted(self._lat_definitions))
+        counters: dict[str, list[int]] = {}
+        for shard in self.shards:
+            for rule in shard.sqlcm._rule_order:
+                entry = counters.setdefault(rule.name, [0, 0])
+                entry[0] += rule.fire_count
+                entry[1] += rule.evaluation_count
+        rule_parts = tuple((name, fires, evals)
+                           for name, (fires, evals)
+                           in sorted(counters.items()))
+        instances: dict[bytes, int] = {}
+        for shard in self.shards:
+            for sig, count in shard.sqlcm._instance_counts.items():
+                instances[sig] = instances.get(sig, 0) + count
+        instance_parts = tuple(sorted(
+            (sig.hex(), count) for sig, count in instances.items()))
+        events_handled = sum(s.sqlcm.events_handled for s in self.shards)
+        rule_firings = sum(s.sqlcm.rule_firings for s in self.shards)
+        parts = (lat_parts, rule_parts, instance_parts,
+                 events_handled, rule_firings)
+        return zlib.crc32(repr(parts).encode())
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "mode": "live" if self.live else "replay",
+            "query_key": self.partitioner.query_key,
+            "events_routed": self.events_routed,
+            "shard_events": [s.events_routed for s in self.shards],
+            "shard_costs": self.shard_costs(),
+            "rules": sorted(self.rules),
+            "lats": sorted(self._lat_definitions),
+            "governor": (None if self.governor is None
+                         else self.governor.state),
+        }

@@ -136,11 +136,18 @@ class StreamEngine:
                             criticality=criticality)
         self._queries[key] = query
         self._by_event.setdefault(spec.engine_event, []).append(query)
-        if spec.engine_event not in self._subscribed:
+        # shard-local monitors never touch the bus: the ShardedSQLCM
+        # router hands them events explicitly via deliver()
+        if spec.engine_event not in self._subscribed and \
+                getattr(self._sqlcm, "bus_subscribed", True):
             self.server.events.subscribe(spec.engine_event, self._on_event)
             self._subscribed.add(spec.engine_event)
         self._sqlcm.invalidate_signature_cache()
         return query
+
+    def deliver(self, event: str, payload: dict) -> None:
+        """Explicit event delivery for bus-less (shard-local) engines."""
+        self._on_event(event, payload)
 
     def remove(self, name: str) -> None:
         query = self._queries.pop(name.lower(), None)

@@ -141,6 +141,34 @@ class WindowState:
         self.combine_ops += ops
         return rows, ops
 
+    def merge_from(self, other: "WindowState") -> int:
+        """Merge another partition's pane buffers into this state.
+
+        The shard merge boundary (see repro.shard): panes with the same
+        index combine states pairwise; distinct panes interleave by index.
+        Returns the number of combine operations performed.
+        """
+        ops = 0
+        for key, buffer in other.groups.items():
+            mine = self.groups.get(key)
+            if mine is None:
+                self.groups[key] = deque(
+                    (pane, list(states)) for pane, states in buffer)
+                continue
+            merged: dict[int, list] = {pane: states for pane, states in mine}
+            for pane, states in buffer:
+                ours = merged.get(pane)
+                if ours is None:
+                    merged[pane] = list(states)
+                else:
+                    for i, func in enumerate(self.funcs):
+                        ours[i] = func.combine(ours[i], states[i])
+                        ops += 1
+            self.groups[key] = deque(
+                (pane, merged[pane]) for pane in sorted(merged))
+        self.combine_ops += ops
+        return ops
+
     @property
     def group_count(self) -> int:
         return len(self.groups)

@@ -1,0 +1,162 @@
+"""Regression tests for deferred-event delivery and rule-index hygiene.
+
+Two dispatch-path bugs fixed together with the sharded-dispatch work:
+
+* ``enqueue_evict_event`` appended to the dispatch queue but never
+  drained it when no dispatch was active, so evictions raised *outside*
+  rule dispatch (stream window flushes inserting into a bounded sink
+  LAT) were either lost outright or smuggled into the next unrelated
+  event's dispatch (mis-attribution).  Deferred events must now drain
+  immediately whenever the dispatcher is idle.
+* ``remove_rule`` left an empty list keyed in ``_rules_by_event``; under
+  rule churn the index grew without bound and made the "any rules for
+  this event?" fast-path check truthy for dead events.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import LATDefinition, Rule, SQLCM
+from repro.core import InsertAction
+from repro.core.actions import CallbackAction
+from repro.engine.query import QueryContext
+
+_IDS = itertools.count(1)
+
+
+def commit(server, t, duration, *, user="u"):
+    server.clock.advance_to(t)
+    qctx = QueryContext(
+        query_id=next(_IDS), session_id=1, text="SELECT 1", user=user,
+        application="tests", query_type="SELECT", start_time=t - duration,
+        end_time=t)
+    server.events.publish("query.commit", {"query": qctx})
+    return qctx
+
+
+@pytest.fixture
+def evict_monitor(server):
+    """SQLCM with a bounded LAT and a journal of evict-rule firings."""
+    monitor = SQLCM(server)
+    monitor.create_lat(LATDefinition(
+        name="Tiny", monitored_class="Query",
+        grouping=["Query.ID AS Qid"],
+        aggregations=["COUNT(Query.ID) AS N"],
+        ordering=["N DESC"], max_rows=1))
+    journal: list[tuple[str, object]] = []
+    monitor.add_rule(Rule(
+        name="on_evict", event="Evicted.Evict",
+        actions=[CallbackAction(
+            lambda s, c: journal.append(("evict", c["evicted"].get("Qid"))))],
+    ))
+    return monitor, journal
+
+
+class TestDeferredDrain:
+    def test_evict_outside_dispatch_drains_immediately(self, evict_monitor):
+        """The drop regression: an eviction with no dispatch active."""
+        monitor, journal = evict_monitor
+        assert not monitor._dispatching
+        monitor.enqueue_evict_event("Tiny", {"Qid": 42, "N": 3})
+        assert journal == [("evict", 42)]
+        assert not monitor._event_queue
+
+    def test_evict_outside_dispatch_not_smuggled_into_next(
+            self, server, evict_monitor):
+        """The mis-attribution regression: the deferred event must not
+        wait in the queue to be processed under the next unrelated
+        event's dispatch."""
+        monitor, journal = evict_monitor
+        monitor.add_rule(Rule(
+            name="on_commit", event="Query.Commit",
+            actions=[CallbackAction(
+                lambda s, c: journal.append(("commit", c["query"].get("ID"))))],
+            ))
+        monitor.enqueue_evict_event("Tiny", {"Qid": 7, "N": 1})
+        qctx = commit(server, 1.0, 0.1)
+        # the eviction ran at enqueue time, strictly before the commit
+        assert journal == [("evict", 7), ("commit", qctx.query_id)]
+        assert monitor.rule_errors == 0
+
+    def test_evict_during_dispatch_still_deferred(self, server,
+                                                  evict_monitor):
+        """Inside a dispatch the ordering contract is unchanged: all
+        rules for the triggering event run before the raised event."""
+        monitor, journal = evict_monitor
+        monitor.add_rule(Rule(
+            name="fill", event="Query.Commit",
+            actions=[InsertAction("Tiny"),
+                     CallbackAction(
+                         lambda s, c: journal.append(("after-insert", None)))],
+        ))
+        first = commit(server, 1.0, 0.1)  # fills the slot, no eviction
+        commit(server, 2.0, 0.2)  # evicts the first row mid-dispatch
+        evict_pos = journal.index(("evict", first.query_id))
+        assert journal.index(("after-insert", None), 1) < evict_pos
+        assert not monitor._event_queue
+
+    def test_stream_flush_eviction_reaches_rules(self, server):
+        """The realistic trigger: a window flush (outside any dispatch)
+        inserts an alert into a bounded sink LAT, evicting a row — the
+        Evicted.Evict rule must fire for it."""
+        monitor = SQLCM(server)
+        monitor.create_lat(LATDefinition(
+            name="Sink", monitored_class="StreamAlert",
+            grouping=["StreamAlert.Group_Key AS G"],
+            aggregations=["COUNT(StreamAlert.Kind) AS N"],
+            ordering=["N DESC"], max_rows=1))
+        monitor.stream_engine().register(
+            "STREAM s FROM Query.Commit GROUP BY Query.User AS U "
+            "WINDOW TUMBLING(10) AGG COUNT(*) AS N HAVING Window.N >= 1",
+            sink_lat="Sink")
+        evicted = []
+        monitor.add_rule(Rule(
+            name="on_evict", event="Evicted.Evict",
+            actions=[CallbackAction(
+                lambda s, c: evicted.append(c["evicted"].get("G")))],
+        ))
+        # two groups in window [0, 10); both alert at the boundary, the
+        # second alert's insert evicts the first from the 1-row sink
+        commit(server, 1.0, 0.1, user="alice")
+        commit(server, 2.0, 0.1, user="bob")
+        server.clock.advance_to(11.0)
+        monitor.stream_engine().flush()
+        assert len(evicted) == 1
+        assert not monitor._event_queue
+
+
+class TestRuleIndexHygiene:
+    def test_remove_rule_deletes_empty_event_key(self, sqlcm):
+        sqlcm.add_rule(Rule(name="r1", event="Query.Commit",
+                            actions=[CallbackAction(lambda s, c: None)]))
+        assert "query.commit" in sqlcm._rules_by_event
+        sqlcm.remove_rule("r1")
+        assert "query.commit" not in sqlcm._rules_by_event
+
+    def test_peer_rules_keep_the_key(self, sqlcm):
+        sqlcm.add_rule(Rule(name="r1", event="Query.Commit",
+                            actions=[CallbackAction(lambda s, c: None)]))
+        sqlcm.add_rule(Rule(name="r2", event="Query.Commit",
+                            actions=[CallbackAction(lambda s, c: None)]))
+        sqlcm.remove_rule("r1")
+        assert [r.name for r in sqlcm._rules_by_event["query.commit"]] == \
+            ["r2"]
+
+    def test_churn_leaves_no_stale_keys(self, sqlcm):
+        events = ["Query.Commit", "Query.Start", "Transaction.Commit",
+                  "Session.Login"]
+        for cycle in range(5):
+            for index, event in enumerate(events):
+                sqlcm.add_rule(Rule(
+                    name=f"r{cycle}_{index}", event=event,
+                    actions=[CallbackAction(lambda s, c: None)]))
+            for index in range(len(events)):
+                sqlcm.remove_rule(f"r{cycle}_{index}")
+            assert sqlcm._rules_by_event == {}
+        # a key reappears cleanly after churn
+        sqlcm.add_rule(Rule(name="fresh", event="Query.Commit",
+                            actions=[CallbackAction(lambda s, c: None)]))
+        assert len(sqlcm._rules_by_event["query.commit"]) == 1

@@ -14,6 +14,8 @@ import json
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (DatabaseServer, InsertAction, LATDefinition,
                    PersistAction, Rule, ServerConfig, SQLCM)
@@ -178,6 +180,62 @@ class TestHistogram:
     def test_bounds_must_increase(self):
         with pytest.raises(ValueError):
             Histogram("h", bounds=[2.0, 1.0])
+
+    def test_quantile_rejects_out_of_range_q(self):
+        hist = Histogram("h", bounds=[1.0])
+        hist.observe(0.5)
+        for bad in (-0.1, 1.1, 2.0):
+            with pytest.raises(ValueError, match="quantile"):
+                hist.quantile(bad)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = Histogram("h", bounds=[1.0])
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 0.0
+
+    def test_single_observation_every_quantile_is_it(self):
+        hist = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        hist.observe(7.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_q_extremes_hit_observed_min_and_max(self):
+        hist = Histogram("h", bounds=[1.0, 2.0, 4.0, 8.0])
+        for value in (0.5, 1.5, 3.0, 6.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 6.0
+
+    def test_overflow_bucket_quantiles_clamp_to_max(self):
+        hist = Histogram("h", bounds=[1.0])
+        hist.observe(0.5)
+        hist.observe(30.0)
+        hist.observe(50.0)
+        # any quantile landing in the overflow bucket reports the max
+        assert hist.quantile(0.6) == 50.0
+        assert hist.quantile(1.0) == 50.0
+
+    def test_interpolation_clamped_to_observed_range(self):
+        # one wide bucket: linear interpolation would leave [vmin, vmax]
+        hist = Histogram("h", bounds=[100.0])
+        hist.observe(40.0)
+        hist.observe(60.0)
+        for q in (0.01, 0.5, 0.99):
+            assert 40.0 <= hist.quantile(q) <= 60.0
+
+    @given(values=st.lists(
+        st.floats(min_value=0.0, max_value=500.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_monotone_in_q(self, values):
+        hist = Histogram("h", bounds=[0.5, 1.0, 5.0, 10.0, 50.0, 100.0])
+        for value in values:
+            hist.observe(value)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+        estimates = [hist.quantile(q) for q in qs]
+        assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+        assert all(hist.vmin <= e <= hist.vmax for e in estimates)
 
     def test_default_latency_bounds_cover_cost_scale(self, observed):
         server, sqlcm = observed

@@ -76,6 +76,29 @@ class TestAccessPaths:
         assert isinstance(seek, phys.PhysIndexSeek)
         assert seek.filter_fn is not None
 
+    def test_duplicate_same_side_bounds_kept_as_residual(self, optimizer,
+                                                         catalog):
+        # a seek honours one bound per side; ``id < 10 AND id <= 5`` must
+        # keep the unconsumed bound as a residual filter, not drop it
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items "
+                 "WHERE id > 0 AND id < 10 AND id <= 5")
+        seek = p.child
+        assert isinstance(seek, phys.PhysIndexSeek)
+        assert seek.range_low_fn is not None
+        assert seek.range_high_fn is not None
+        assert seek.filter_fn is not None
+
+    def test_duplicate_lower_bounds_kept_as_residual(self, optimizer,
+                                                     catalog):
+        p = plan(optimizer, catalog,
+                 "SELECT name FROM items "
+                 "WHERE id > 2 AND id >= 4 AND id < 100")
+        seek = p.child
+        assert isinstance(seek, phys.PhysIndexSeek)
+        assert seek.range_low_fn is not None
+        assert seek.filter_fn is not None
+
     def test_no_predicate_full_scan(self, optimizer, catalog):
         p = plan(optimizer, catalog, "SELECT name FROM items")
         assert isinstance(p.child, phys.PhysTableScan)
