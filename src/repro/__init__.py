@@ -17,6 +17,9 @@ four layers:
 * :mod:`repro.shard` — the sharded parallel dispatch tier: events
   partitioned by replay-stable keys across shard-local monitors, merged
   at the report boundary, with a serial-equivalence determinism proof.
+* :mod:`repro.drivers` — probe drivers: the narrow hook surface SQLCM
+  consumes (events, plan text, blocker pairs, snapshots), with backends
+  for the built-in engine and real sqlite3 database files.
 
 Quickstart::
 
@@ -48,6 +51,8 @@ from repro.core import (SQLCM, AggSpec, AgingSpec, CancelAction,
                         QuarantinePolicy, QuarantineRuleAction, ResetAction,
                         ResetLATAction, RetryPolicy, Rule, RunExternalAction,
                         SendMailAction, SetTimerAction)
+from repro.drivers import (DriverCapabilities, DriverResult, InMemoryDriver,
+                           ProbeDriver, SQLiteDriver, from_url)
 from repro.engine import (ColumnDef, DatabaseServer, IfStep, IndexDef,
                           ProcedureDef, ServerConfig, Session, Statement,
                           TableSchema)
@@ -105,6 +110,12 @@ __all__ = [
     "ServiceConfig",
     "ServiceRunner",
     "ServiceClient",
+    "ProbeDriver",
+    "InMemoryDriver",
+    "SQLiteDriver",
+    "DriverCapabilities",
+    "DriverResult",
+    "from_url",
     "ShardedSQLCM",
     "Partitioner",
     "EventTrace",

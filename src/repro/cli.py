@@ -6,6 +6,14 @@ Run ``python -m repro`` for an interactive session, or pipe a script::
           INSERT INTO t VALUES (1, 2.0);
           SELECT * FROM t;" | python -m repro
 
+The shell can also monitor a *real* database through a probe driver::
+
+    python -m repro monitor sqlite:/path/to/app.db
+
+SQL then executes against the external backend while SQLCM watches it
+through the driver's event stream (``.driver`` shows the backend and
+its capability flags).
+
 Besides SQL, the shell understands monitoring meta-commands:
 
 =====================  ======================================================
@@ -39,7 +47,8 @@ Besides SQL, the shell understands monitoring meta-commands:
 ``.trace export PATH`` write the span buffer as Chrome-trace JSON
                        (load in chrome://tracing or Perfetto)
 ``.report``            full DBA report (activity, blocking, monitoring)
-``.explain SQL``       show the physical plan and signatures for a query
+``.driver``            attached probe driver: backend + capability flags
+``.explain SQL``       show the backend's plan rendering for a query
 ``.clock``             current virtual time
 ``.help``              this text
 =====================  ======================================================
@@ -56,18 +65,26 @@ from repro.errors import ReproError
 
 
 class Shell:
-    """One interactive session against a fresh in-memory server."""
+    """One interactive session against a fresh in-memory server, or —
+    given a probe driver — against an external backend (sqlite)."""
 
-    def __init__(self, out: IO[str] | None = None):
+    def __init__(self, out: IO[str] | None = None, driver=None):
         self.out = out or sys.stdout
-        self.server = DatabaseServer(
-            ServerConfig(track_completed_queries=True))
-        # the shell is a DBA cockpit: collect attribution/metrics/spans so
-        # .metrics and .trace always have data
-        self.server.enable_observability()
-        self.sqlcm = SQLCM(self.server)
-        self.session = self.server.create_session(user="cli",
-                                                  application="shell")
+        if driver is None:
+            self.server = DatabaseServer(
+                ServerConfig(track_completed_queries=True))
+            # the shell is a DBA cockpit: collect attribution/metrics/spans
+            # so .metrics and .trace always have data
+            self.server.enable_observability()
+            self.sqlcm = SQLCM(self.server)
+            self.session = self.server.create_session(user="cli",
+                                                      application="shell")
+        else:
+            self.server = driver.host
+            self.server.enable_observability()
+            self.sqlcm = SQLCM(driver=driver)
+            self.session = None  # SQL routes through the driver
+        self.driver = self.sqlcm.driver
         self._trackers: dict[str, object] = {}
 
     def _print(self, *parts: object) -> None:
@@ -84,7 +101,10 @@ class Shell:
             self._meta(line)
             return
         try:
-            result = self.session.execute(line)
+            if self.session is not None:
+                result = self.session.execute(line)
+            else:
+                result = self.driver.execute(line)
         except ReproError as err:
             self._print(f"error: {err}")
             return
@@ -202,8 +222,8 @@ class Shell:
             if not shown:
                 self._print("  (no alerts)")
         elif command == ".queries":
-            for qctx in self.server.completed_queries[-10:]:
-                duration = qctx.duration_at(self.server.clock.now)
+            for qctx in self.driver.completed_queries()[-10:]:
+                duration = qctx.duration_at(self.driver.now())
                 self._print(f"  #{qctx.query_id} {duration * 1e3:8.2f}ms "
                             f"{qctx.text[:60]}")
         elif command == ".outbox":
@@ -242,11 +262,13 @@ class Shell:
         elif command == ".report":
             from repro.monitoring.report import full_report
             self._print(full_report(self.server, self.sqlcm))
+        elif command == ".driver":
+            from repro.monitoring.report import driver_status
+            self._print(driver_status(self.driver))
         elif command == ".explain" and len(parts) > 1:
-            from repro.engine.planner.explain import explain_query
             sql = line[len(".explain"):].strip()
             try:
-                self._print(explain_query(self.server, sql))
+                self._print(self.driver.plan_text(sql))
             except ReproError as err:
                 self._print(f"error: {err}")
         else:
@@ -434,11 +456,26 @@ def _fmt(value: object) -> str:
 def main() -> None:  # pragma: no cover
     argv = sys.argv[1:]
     if argv and argv[0] == "serve":
-        # `python -m repro serve [--host H] [--port P]` — start the
-        # network service tier instead of the interactive shell
+        # `python -m repro serve [--host H] [--port P] [--driver URL]` —
+        # start the network service tier instead of the interactive shell
         from repro.service import serve_main
         raise SystemExit(serve_main(argv[1:]))
-    shell = Shell()
+    driver = None
+    if argv and argv[0] == "monitor":
+        # `python -m repro monitor sqlite:PATH` — shell over an external
+        # backend through a probe driver
+        if len(argv) < 2:
+            print("usage: python -m repro monitor <driver-url>  "
+                  "(e.g. sqlite:/path/to/app.db)", file=sys.stderr)
+            raise SystemExit(2)
+        from repro.drivers import from_url
+        from repro.errors import ReproError
+        try:
+            driver = from_url(argv[1])
+        except ReproError as err:
+            print(f"error: {err}", file=sys.stderr)
+            raise SystemExit(2)
+    shell = Shell(driver=driver)
     if sys.stdin.isatty():
         shell.repl()
     else:

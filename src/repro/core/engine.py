@@ -66,13 +66,20 @@ class SQLCM:
         "session.login_failed", "session.logout", "sqlcm.stream_alert",
     )
 
-    def __init__(self, server, schema: SQLCMSchema | None = None,
+    def __init__(self, server=None, schema: SQLCMSchema | None = None,
                  faults: FaultInjector | None = None,
                  quarantine: QuarantinePolicy | None = None,
                  retry: RetryPolicy | None = None,
                  governor: GovernorPolicy | None = None,
-                 subscribe: bool = True):
-        self.server = server
+                 subscribe: bool = True,
+                 driver=None):
+        if driver is None:
+            # default backend: the in-memory engine the monitor grew up
+            # embedded in (wrapping it is side-effect free)
+            from repro.drivers.inmemory import InMemoryDriver
+            driver = InMemoryDriver(server)
+        self.driver = driver
+        self.server = driver.host
         # False for shard-local instances: events arrive via explicit
         # delivery from the ShardedSQLCM router, not the server's bus
         self.bus_subscribed = subscribe
@@ -114,9 +121,7 @@ class SQLCM:
         # the incident manager too; see incident_manager()
         self._incidents = None
         if subscribe:
-            for event in self.SUBSCRIBED_EVENTS:
-                server.events.subscribe(event, self._on_engine_event)
-            server.events.subscribe("query.compile", self._on_compile)
+            self.driver.wire(self)
         if governor is not None:
             self.enable_governor(governor)
 
@@ -628,11 +633,11 @@ class SQLCM:
         """All registered objects of a class (Section 5.2 iteration scope)."""
         factory = self.factory
         if class_name == "query":
-            return [factory.query(q) for q in self.server.active_queries()]
+            return [factory.query(q) for q in self.driver.active_queries()]
         if class_name == "transaction":
             return [
                 factory.transaction(t, t.statement_log)
-                for t in self.server.txns.active_transactions
+                for t in self.driver.active_transactions()
             ]
         if class_name == "timer":
             return [factory.timer(t) for t in self.timer_service.timers()]
@@ -643,25 +648,18 @@ class SQLCM:
         return []
 
     def _blocking_pairs(self) -> list[tuple[MonitoredObject, MonitoredObject]]:
-        """Materialize Blocker/Blocked pairs by lock-graph traversal."""
+        """Materialize Blocker/Blocked pairs via the driver's waits probe."""
         costs = self.server.costs
-        pairs = self.server.locks.blocking_pairs()
-        edges = len(self.server.locks.waits_for_edges())
+        pairs, edges = self.driver.blocking_pairs()
         self.server.add_monitor_cost(costs.deadlock_search_per_edge
                                      * max(1, edges))
-        now = self.server.clock.now
-        result = []
-        for ticket, holder_txn, resource in pairs:
-            blocked_q = ticket.qctx
-            blocker_q = self.server.current_query_of_txn(holder_txn)
-            if blocked_q is None or blocker_q is None:
-                continue
-            wait = max(0.0, now - ticket.requested_at)
-            result.append((
+        return [
+            (
                 self.factory.blocker(blocker_q, resource, wait),
                 self.factory.blocked(blocked_q, resource, wait),
-            ))
-        return result
+            )
+            for blocker_q, blocked_q, resource, wait in pairs
+        ]
 
     # ------------------------------------------------------------------
     # rule evaluation

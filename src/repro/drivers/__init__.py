@@ -1,0 +1,24 @@
+"""Multi-backend probe drivers: SQLCM's hook points behind one interface.
+
+* :mod:`repro.drivers.base` — the :class:`ProbeDriver` ABC, capability
+  flags, and the ``scheme:detail`` URL factory.
+* :mod:`repro.drivers.inmemory` — the package's own virtual-clock engine
+  (the default backend; bit-for-bit the pre-driver behavior).
+* :mod:`repro.drivers.sqlite3_probe` — a real sqlite3 database probed
+  through trace/authorizer/progress callbacks.
+"""
+
+from repro.drivers.base import (SNAPSHOT_CATALOG, DriverCapabilities,
+                                DriverResult, ProbeDriver, from_url)
+from repro.drivers.inmemory import InMemoryDriver
+from repro.drivers.sqlite3_probe import SQLiteDriver
+
+__all__ = [
+    "ProbeDriver",
+    "DriverCapabilities",
+    "DriverResult",
+    "InMemoryDriver",
+    "SQLiteDriver",
+    "SNAPSHOT_CATALOG",
+    "from_url",
+]

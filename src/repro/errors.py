@@ -157,6 +157,11 @@ class PersistCorruptionError(SQLCMError):
     """
 
 
+class DriverError(ReproError):
+    """Invalid probe-driver operation (unknown scheme, unsupported
+    capability, unknown snapshot, backend connection failure)."""
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the network service tier.
 

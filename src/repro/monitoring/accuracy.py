@@ -1,8 +1,10 @@
 """Ground-truth accuracy comparison for monitoring answers (Figure 3).
 
 The paper reports how many of the true top-10 most expensive queries each
-approach missed.  Ground truth comes from the engine's completed-query
-track (enable ``ServerConfig.track_completed_queries``).
+approach missed.  Ground truth comes from the backend's completed-query
+record: pass a :class:`~repro.drivers.base.ProbeDriver` (any backend) or
+a bare in-memory server (enable ``ServerConfig.track_completed_queries``)
+— the same accuracy math scores both.
 """
 
 from __future__ import annotations
@@ -10,23 +12,30 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 
-def top_k_ground_truth(server, k: int,
+def top_k_ground_truth(source, k: int,
                        exclude_apps: Iterable[str] = ("query_logging",
                                                       "monitor")
                        ) -> list[tuple[int, str, float]]:
-    """True top-k completed queries by duration."""
+    """True top-k completed queries by duration.
+
+    ``source`` is a ProbeDriver (``completed_queries()`` method + ``now()``)
+    or a DatabaseServer (``completed_queries`` list + ``clock.now``).
+    """
+    completed = source.completed_queries
+    if callable(completed):
+        completed = completed()
+        now = source.now()
+    else:
+        now = source.clock.now
     excluded = set(exclude_apps)
-    completed = [
-        q for q in server.completed_queries
-        if q.application not in excluded
-    ]
+    survivors = [q for q in completed if q.application not in excluded]
     ranked = sorted(
-        completed,
-        key=lambda q: q.duration_at(server.clock.now),
+        survivors,
+        key=lambda q: q.duration_at(now),
         reverse=True,
     )
     return [
-        (q.query_id, q.text, q.duration_at(server.clock.now))
+        (q.query_id, q.text, q.duration_at(now))
         for q in ranked[:k]
     ]
 

@@ -1,9 +1,15 @@
 """Polling baselines: PULL (lossy snapshots) and PULL_history (drained log).
 
-Both run as scheduler processes that wake every ``interval`` virtual
-seconds.  Their server-side work (building the snapshot, shipping rows) is
-charged to the server's monitor-cost pool, so it lands in the workload's
-timeline exactly as a busy server would experience it.
+Both run against any :class:`~repro.drivers.base.ProbeDriver` (or a bare
+:class:`~repro.engine.server.DatabaseServer`, wrapped transparently).  On
+a virtual-clock backend they are scheduler processes that wake every
+``interval`` virtual seconds, and their server-side work (building the
+snapshot, shipping rows) is charged to the server's monitor-cost pool, so
+it lands in the workload's timeline exactly as a busy server would
+experience it.  On an external backend (sqlite) there is no scheduler to
+ride; the poller registers a driver tick listener and fires whenever
+backend time crosses the next poll deadline — the cost charge then stays
+an estimate in the sidecar host's ledger (``in_engine_cost=False``).
 
 PULL observes only *currently active* queries and only their *elapsed so
 far* time — queries that start and finish between polls are missed
@@ -25,6 +31,14 @@ from typing import Iterator
 from repro.sim.scheduler import Delay
 
 
+def _resolve(source):
+    """Accept a ProbeDriver or a DatabaseServer; return (driver, host)."""
+    if hasattr(source, "capabilities") and hasattr(source, "host"):
+        return source, source.host
+    from repro.drivers.inmemory import InMemoryDriver
+    return InMemoryDriver(source), source
+
+
 @dataclass
 class ObservedQuery:
     """Client-side record of a query seen in one or more PULL snapshots."""
@@ -41,21 +55,28 @@ class PullMonitor:
     def __init__(self, server, interval: float, name: str = "pull"):
         if interval <= 0:
             raise ValueError("polling interval must be positive")
-        self.server = server
+        self.driver, self.server = _resolve(server)
         self.interval = interval
         self.name = name
         self.observed: dict[int, ObservedQuery] = {}
         self.poll_count = 0
         self.last_poll_cost = 0.0
         self._process = None
+        self._next_due = 0.0
+        self._started = False
         self._stopped = False
 
     def start(self) -> None:
-        if self._process is not None:
+        if self._started:
             raise RuntimeError("monitor already started")
-        self._process = self.server.scheduler.spawn(
-            f"monitor-{self.name}", self._poll_loop()
-        )
+        self._started = True
+        if self.driver.capabilities().virtual_clock:
+            self._process = self.server.scheduler.spawn(
+                f"monitor-{self.name}", self._poll_loop()
+            )
+        else:
+            self._next_due = self.driver.now() + self.interval
+            self.driver.add_tick_listener(self._on_tick)
 
     def stop(self) -> None:
         self._stopped = True
@@ -70,10 +91,19 @@ class PullMonitor:
             # round trip finished — polls are self-limiting
             yield Delay(self.last_poll_cost)
 
+    def _on_tick(self, now: float) -> None:
+        if self._stopped:
+            return
+        while now >= self._next_due:
+            self.poll()
+            # same self-limiting contract as the scheduler loop: the
+            # next interval starts after the snapshot round trip
+            self._next_due += self.interval + self.last_poll_cost
+
     def poll(self) -> int:
         """Take one snapshot; returns the number of active queries seen."""
         costs = self.server.costs
-        active = self.server.active_queries()
+        active = self.driver.active_queries()
         # the snapshot is built by the server and shipped to the client;
         # its server-side work delays the running workload
         self.last_poll_cost = (
@@ -82,7 +112,7 @@ class PullMonitor:
             + costs.network_per_row * len(active)
         )
         self.server.add_monitor_cost(self.last_poll_cost)
-        now = self.server.clock.now
+        now = self.driver.now()
         for qctx in active:
             elapsed = qctx.duration_at(now)
             seen = self.observed.get(qctx.query_id)
@@ -111,7 +141,7 @@ class PullHistoryMonitor:
     def __init__(self, server, interval: float, name: str = "pull_history"):
         if interval <= 0:
             raise ValueError("polling interval must be positive")
-        self.server = server
+        self.driver, self.server = _resolve(server)
         self.interval = interval
         self.name = name
         self._history: list[tuple[int, str, float]] = []
@@ -120,6 +150,8 @@ class PullHistoryMonitor:
         self.last_poll_cost = 0.0
         self.peak_history_rows = 0
         self._process = None
+        self._next_due = 0.0
+        self._started = False
         self._stopped = False
         self._attached = False
         self.attach()
@@ -164,11 +196,16 @@ class PullHistoryMonitor:
     # -- polling ------------------------------------------------------------------
 
     def start(self) -> None:
-        if self._process is not None:
+        if self._started:
             raise RuntimeError("monitor already started")
-        self._process = self.server.scheduler.spawn(
-            f"monitor-{self.name}", self._poll_loop()
-        )
+        self._started = True
+        if self.driver.capabilities().virtual_clock:
+            self._process = self.server.scheduler.spawn(
+                f"monitor-{self.name}", self._poll_loop()
+            )
+        else:
+            self._next_due = self.driver.now() + self.interval
+            self.driver.add_tick_listener(self._on_tick)
 
     def stop(self) -> None:
         self._stopped = True
@@ -180,6 +217,13 @@ class PullHistoryMonitor:
                 return
             self.poll()
             yield Delay(self.last_poll_cost)
+
+    def _on_tick(self, now: float) -> None:
+        if self._stopped:
+            return
+        while now >= self._next_due:
+            self.poll()
+            self._next_due += self.interval + self.last_poll_cost
 
     def poll(self) -> int:
         """Drain the server-side history; returns rows picked up."""

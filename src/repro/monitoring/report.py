@@ -295,6 +295,31 @@ def governor_status(sqlcm) -> str:
     return "\n".join(lines)
 
 
+def driver_status(driver) -> str:
+    """The attached probe driver: backend identity, capabilities, counters."""
+    lines = ["DRIVER", ""]
+    info = driver.describe()
+    lines.append(f"driver: {info['driver']}")
+    lines.append(f"backend: {info['backend']}")
+    caps = info["capabilities"]
+    granted = sorted(k for k, v in caps.items()
+                     if v is True and k != "snapshots")
+    denied = sorted(k for k, v in caps.items()
+                    if v is False and k != "snapshots")
+    lines.append(f"capabilities: {', '.join(granted) or '(none)'}")
+    if denied:
+        lines.append(f"degraded (unavailable): {', '.join(denied)}")
+    lines.append(f"snapshots: {', '.join(caps.get('snapshots', []))}")
+    counters = info.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines += _table(
+            ["counter", "value"],
+            [(k, _short(v)) for k, v in sorted(counters.items())],
+        )
+    return "\n".join(lines)
+
+
 def full_report(server, sqlcm) -> str:
     """Everything a DBA checks first."""
     sections = [
@@ -303,6 +328,9 @@ def full_report(server, sqlcm) -> str:
         monitoring_configuration(sqlcm),
         rule_health(sqlcm),
     ]
+    driver = getattr(sqlcm, "driver", None)
+    if driver is not None:
+        sections.append(driver_status(driver))
     if sqlcm.has_streams:
         sections.append(stream_activity(sqlcm))
     if sqlcm.has_incidents:

@@ -26,6 +26,7 @@ def status_snapshot(service) -> dict:
     return {
         "time": server.clock.now,
         "service": service.describe(),
+        "driver": service.driver.describe(),
         "activity": activity_snapshot(server),
         "governor": governor_snapshot(sqlcm),
         "monitoring": {

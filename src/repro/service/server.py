@@ -124,12 +124,24 @@ class MonitorService:
 
     def __init__(self, db: DatabaseServer | None = None,
                  sqlcm: SQLCM | None = None,
-                 config: ServiceConfig | None = None):
+                 config: ServiceConfig | None = None,
+                 driver=None):
         self.config = config or ServiceConfig()
-        if db is None:
+        if driver is not None:
+            db = driver.host
+        elif db is None:
             db = DatabaseServer(ServerConfig(track_completed_queries=True))
         self.db = db
-        self.sqlcm = sqlcm if sqlcm is not None else SQLCM(db)
+        if sqlcm is not None:
+            self.sqlcm = sqlcm
+        elif driver is not None:
+            self.sqlcm = SQLCM(driver=driver)
+        else:
+            self.sqlcm = SQLCM(db)
+        self.driver = driver if driver is not None else self.sqlcm.driver
+        # an external backend (sqlite) has no scheduler to pump and runs
+        # statements synchronously instead of as engine processes
+        self._external = not self.driver.capabilities().virtual_clock
         self._connections: list[ClientConnection] = []
         self._queue: list[_Queued] = []
         self._server: asyncio.base_events.Server | None = None
@@ -194,6 +206,7 @@ class MonitorService:
         return {
             "server": SERVER_NAME,
             "protocol_version": PROTOCOL_VERSION,
+            "driver": self.driver.name,
             "connections": len(self._connections),
             "connections_total": self.connections_total,
             "requests_total": self.requests_total,
@@ -222,12 +235,17 @@ class MonitorService:
         """
         clock = self.db.clock
         target = clock.now + self.config.tick
-        try:
-            self.db.run(until=target)
-        except SchedulerStalledError:
-            pass
-        if clock.now < target:
+        if self._external:
+            # no scheduler to drive: backend work advances the clock on
+            # its own (driver ticks); idle time still has to pass
             clock.advance_to(target)
+        else:
+            try:
+                self.db.run(until=target)
+            except SchedulerStalledError:
+                pass
+            if clock.now < target:
+                clock.advance_to(target)
         if self.sqlcm.has_streams:
             # window boundaries are normally flushed by the event path;
             # during idle ticks the pump drains them so subscribed
@@ -426,8 +444,11 @@ class MonitorService:
         self._queue = [e for e in self._queue if e.conn is not conn]
         session = conn.session
         conn.session = None
-        if session is not None \
-                and self.db.session(session.session_id) is not None:
+        if session is None:
+            return
+        if self._external:
+            session.close()  # driver connection teardown
+        elif self.db.session(session.session_id) is not None:
             # rolls back any abandoned transaction (see
             # DatabaseServer.close_session) so locks never leak
             self.db.close_session(session)
@@ -444,12 +465,19 @@ class MonitorService:
                 f"protocol version {version!r} unsupported "
                 f"(server speaks {PROTOCOL_VERSION})")
         user = payload.get("user") or "dbo"
+        application = payload.get("application") or "service-client"
         try:
-            conn.session = self.db.create_session(
-                user=user,
-                application=payload.get("application") or "service-client",
-                credential=payload.get("credential"),
-            )
+            if self._external:
+                # the backend session is a monitored driver connection;
+                # external backends do their own authentication
+                conn.session = self.driver.connect(
+                    user=user, application=application)
+            else:
+                conn.session = self.db.create_session(
+                    user=user,
+                    application=application,
+                    credential=payload.get("credential"),
+                )
         except EngineError as err:
             raise ServiceError(str(err), code=E_AUTH) from None
         conn.criticality = validate_criticality(
@@ -502,6 +530,15 @@ class MonitorService:
                 raise ServiceError(
                     "service is shedding load; retry later",
                     code=E_OVERLOADED, retry_after=retry_after)
+        if self._external:
+            # external backends execute synchronously through the driver
+            # (no engine process to park on the scheduler)
+            result = conn.session.execute(
+                request.payload["sql"], request.payload.get("params"))
+            if result.error:
+                raise ServiceError(result.error, code=E_SQL)
+            return {"rows": result.rows,
+                    "rows_affected": result.rows_affected}
         self._start_statement(conn, request)
         return _DEFERRED
 
@@ -638,7 +675,7 @@ class MonitorService:
                 f"user {conn.session.user!r} may not cancel queries",
                 code=E_DENIED)
         query_id = int(request.payload["query_id"])
-        for qctx in self.db.active_queries():
+        for qctx in self.driver.active_queries():
             if qctx.query_id == query_id:
                 ok = cancel_with_outcome(self.sqlcm, None, "service", qctx)
                 return {"query_id": query_id, "cancelled": ok}
@@ -722,20 +759,36 @@ def serve_main(argv: list[str] | None = None) -> int:
         description="Start the SQLCM monitoring service (TCP/JSON-lines).")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7433)
+    parser.add_argument(
+        "--driver", default=None, metavar="URL",
+        help="probe-driver URL for the monitored backend "
+             "(e.g. sqlite:/path/to/app.db); default: the built-in "
+             "in-memory engine")
     args = parser.parse_args(argv)
 
-    db = DatabaseServer(ServerConfig(track_completed_queries=True))
-    db.enable_observability()
-    sqlcm = SQLCM(db)
-    sqlcm.enable_governor()
+    if args.driver:
+        from repro.drivers import from_url
+        driver = from_url(args.driver)
+    else:
+        from repro.drivers.inmemory import InMemoryDriver
+        driver = InMemoryDriver(DatabaseServer(
+            ServerConfig(track_completed_queries=True)))
+    driver.host.enable_observability()
+    sqlcm = SQLCM(driver=driver)
+    if driver.capabilities().in_engine_cost:
+        # the governor's feedback loop needs monitoring cost to land in
+        # the workload's own timeline; external backends can't offer that
+        sqlcm.enable_governor()
     sqlcm.incident_manager()
-    service = MonitorService(db, sqlcm, ServiceConfig(
-        host=args.host, port=args.port))
+    service = MonitorService(sqlcm=sqlcm, driver=driver,
+                             config=ServiceConfig(
+                                 host=args.host, port=args.port))
 
     async def main() -> None:
         await service.start()
         print(f"{SERVER_NAME} v{PROTOCOL_VERSION} listening on "
-              f"{args.host}:{service.port}  (ctrl-c to stop)")
+              f"{args.host}:{service.port}  backend={driver.backend_info()}"
+              f"  (ctrl-c to stop)")
         try:
             await service._server.serve_forever()
         finally:
