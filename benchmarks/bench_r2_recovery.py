@@ -1,0 +1,157 @@
+"""R2: monitor recovery cost — checkpoint cadence vs journal replay.
+
+Not a paper experiment — this bench guards the durability extension: the
+monitor's crash-safety story is checkpoint + journal replay, and its
+operational cost is the time a supervised restart spends rebuilding the
+monitor.  Two knobs control that cost:
+
+* **journal length** — records written since the last checkpoint; replay
+  is linear in it, so recovery time grows with the time since the last
+  checkpoint;
+* **checkpoint interval** — a tighter cadence trades steady-state
+  checkpoint writes for a shorter journal (and faster recovery) at the
+  moment of the crash.
+
+For every grid point the bench recovers through the full
+:func:`verify_recovery` path, so digest equality with the pre-crash
+monitor is asserted, not assumed; each recovery is then repeated and must
+be bit-identical (same digest, same records replayed) — replay is
+deterministic, a recovered monitor is a repro, not an approximation.
+
+Writes ``BENCH_recovery.json`` (per-grid-point replay counts, wall
+timings, and digests) next to the repo's other bench artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import quick
+from repro import (DatabaseServer, InsertAction, LATDefinition, Rule,
+                   ServerConfig, SQLCM)
+from repro.core.durability import DigestTap, DurabilityManager, verify_recovery
+
+#: events journaled after the final checkpoint (replay length axis)
+JOURNAL_LENGTHS = quick([50, 200, 800], [20, 60])
+
+#: virtual seconds between automatic checkpoints (cadence axis); the
+#: workload always spans 100 virtual seconds
+CHECKPOINT_INTERVALS = quick([5.0, 20.0, 80.0], [10.0, 50.0])
+
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
+
+
+def build_monitor():
+    server = DatabaseServer(ServerConfig(track_completed_queries=True))
+    server.execute_ddl(
+        "CREATE TABLE items (id INT NOT NULL PRIMARY KEY, "
+        "name VARCHAR(30), price FLOAT)")
+    loader = server.create_session()
+    loader.execute(
+        "INSERT INTO items (id, name, price) VALUES (1, 'a', 1.5), "
+        "(2, 'b', 2.0)")
+    server.close_session(loader)
+    sqlcm = SQLCM(server)
+    sqlcm.create_lat(LATDefinition(
+        name="Q_LAT", monitored_class="Query",
+        grouping=["Query.User AS U"],
+        aggregations=["COUNT(Query.ID) AS N",
+                      "AVG(Query.Duration) AS D"]))
+    sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                        actions=[InsertAction("Q_LAT")]))
+    sqlcm.stream_engine().register(
+        "STREAM s1 FROM Query.Commit GROUP BY Query.User AS U "
+        "WINDOW TUMBLING(2) AGG COUNT(*) AS N")
+    return server, sqlcm
+
+
+def work(server, n):
+    for i in range(n):
+        session = server.create_session(user=f"u{i % 5}")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        server.close_session(session)
+        server.clock.advance(0.05)
+
+
+def timed_recovery(directory, tap):
+    """Recover twice; assert digest equality and bit-stable replay."""
+    start = time.perf_counter()
+    first = verify_recovery(directory, tap)
+    wall = time.perf_counter() - start
+    second = verify_recovery(directory, tap)
+    digest = first.sqlcm.state_digest()
+    assert digest == second.sqlcm.state_digest(), "replay is not bit-stable"
+    assert first.records_replayed == second.records_replayed
+    return wall, first, digest
+
+
+def test_r2_recovery_cost(report, benchmark, tmp_path):
+    artifact = {"quick": bool(quick(False, True)),
+                "journal_lengths": {}, "checkpoint_intervals": {}}
+    lines = ["R2: recovery cost (journal replay + checkpoint cadence)",
+             f"{'journal events':>14} {'replayed':>9} {'recover':>9}"]
+
+    # --- axis 1: journal length at a fixed (single) checkpoint ----------
+    taps = {}
+    for n_events in JOURNAL_LENGTHS:
+        server, sqlcm = build_monitor()
+        directory = str(tmp_path / f"len-{n_events}")
+        manager = DurabilityManager(sqlcm, directory)
+        manager.attach()  # the only checkpoint: everything after replays
+        tap = DigestTap(manager)
+        work(server, n_events)
+        taps[n_events] = (directory, tap)
+        wall, rep, digest = timed_recovery(directory, tap)
+        artifact["journal_lengths"][str(n_events)] = {
+            "records_replayed": rep.records_replayed,
+            "recover_wall_s": round(wall, 6),
+            "digest": f"0x{digest:08x}",
+        }
+        lines.append(f"{n_events:>14} {rep.records_replayed:>9} "
+                     f"{wall * 1e3:>8.1f}ms")
+
+    # pytest-benchmark timing on the longest journal (a stable hot path)
+    longest = max(JOURNAL_LENGTHS)
+    directory, tap = taps[longest]
+    benchmark.pedantic(lambda: verify_recovery(directory, tap),
+                       rounds=quick(5, 1), iterations=1)
+
+    # --- axis 2: checkpoint cadence over a fixed workload ---------------
+    lines.append(f"{'ckpt interval':>14} {'ckpts':>6} {'replayed':>9} "
+                 f"{'recover':>9}")
+    for interval in CHECKPOINT_INTERVALS:
+        server, sqlcm = build_monitor()
+        directory = str(tmp_path / f"int-{interval}")
+        manager = DurabilityManager(sqlcm, directory,
+                                    checkpoint_interval=interval)
+        manager.attach()
+        tap = DigestTap(manager)
+        slices = quick(40, 12)
+        for index in range(slices):
+            work(server, 5)
+            # stretch the workload over ~100 virtual seconds so every
+            # cadence on the grid gets a chance to fire; the crash lands
+            # after the last slice, so that one never checkpoints
+            server.clock.advance(100.0 / slices)
+            if index < slices - 1:
+                manager.maybe_checkpoint()
+        wall, rep, digest = timed_recovery(directory, tap)
+        artifact["checkpoint_intervals"][str(interval)] = {
+            "checkpoints_taken": manager.checkpoints_taken,
+            "records_replayed": rep.records_replayed,
+            "recover_wall_s": round(wall, 6),
+            "digest": f"0x{digest:08x}",
+        }
+        lines.append(f"{interval:>13.0f}s {manager.checkpoints_taken:>6} "
+                     f"{rep.records_replayed:>9} {wall * 1e3:>8.1f}ms")
+
+    # a tighter cadence must not replay more than the loosest one
+    replayed = [artifact["checkpoint_intervals"][str(i)]["records_replayed"]
+                for i in CHECKPOINT_INTERVALS]
+    assert replayed[0] <= replayed[-1], \
+        "tighter checkpoint cadence should shorten journal replay"
+
+    report(*lines)
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True))

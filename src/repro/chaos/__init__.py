@@ -30,8 +30,9 @@ from repro.chaos.harness import (ChaosHarness, ScenarioResult,  # noqa: E402
                                  run_scenario, run_suite)
 from repro.chaos.scenarios import (SCENARIOS, BlockingStorm,  # noqa: E402
                                    ChaosScenario, DeadlockCascade,
-                                   HotRowContention, OverloadSpike,
-                                   RunawayQuery, get_scenario)
+                                   HotRowContention, MonitorCrash,
+                                   OverloadSpike, RunawayQuery,
+                                   get_scenario)
 
 __all__ = [
     "ChaosScenario",
@@ -40,6 +41,7 @@ __all__ = [
     "RunawayQuery",
     "HotRowContention",
     "OverloadSpike",
+    "MonitorCrash",
     "SCENARIOS",
     "get_scenario",
     "ChaosHarness",

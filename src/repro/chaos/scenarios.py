@@ -444,11 +444,148 @@ class OverloadSpike(ChaosScenario):
                             "recovery")
 
 
+class MonitorCrash(ChaosScenario):
+    """The monitor itself dies mid-drill; durable recovery must be lossless.
+
+    The drill attaches the durability layer (checkpoint + journal) to the
+    harness's monitor and runs a steady query load.  A scheduler process
+    then pulls the plug at a seeded virtual time: one of the durability
+    crash sites fires — a journal append that dies cleanly or tears its
+    tail, or a checkpoint that aborts or publishes a torn file — exactly
+    as a real ``kill -9`` would leave the disk.  One virtual second later
+    the process rebuilds a *fresh* SQLCM from the surviving checkpoint +
+    journal and compares state digests against the last committed point
+    the live monitor reached (``DigestTap``).
+
+    The outcome flows through the incident subsystem like every other
+    drill: a ``monitor_crash`` incident opens when the plug is pulled and
+    is resolved only when recovery verifies — a digest mismatch leaves it
+    open, which the generic invariants turn into a failure.
+    """
+
+    name = "monitor_crash"
+    description = "monitor dies; checkpoint + journal recovery verifies"
+    expected_class = "monitor_crash"
+    load_until = 5.0
+
+    #: seeded crash points: (fault site, failure mode)
+    CRASH_SITES = (
+        ("durability.append", "exception"),   # clean kill between records
+        ("durability.append", "partial"),     # torn journal tail
+        ("durability.checkpoint", "exception"),  # checkpoint aborts early
+        ("durability.checkpoint", "partial"),    # torn checkpoint published
+    )
+
+    CRASH_LAT = "Chaos_Crash_LAT"
+    CRASH_RULE = "chaos_crash_track"
+
+    def remediator_kwargs(self) -> dict:
+        return dict(sweep_interval=0.25, block_wait_threshold=50.0,
+                    cancel_blockers=False)
+
+    def configure(self, harness) -> None:
+        import tempfile
+
+        from repro.core.durability import DigestTap, DurabilityManager
+
+        sqlcm: SQLCM = harness.sqlcm
+        sqlcm.create_lat(LATDefinition(
+            name=self.CRASH_LAT,
+            grouping=["Query.User AS U"],
+            aggregations=["COUNT(Query.ID) AS N",
+                          "AVG(Query.Duration) AS Avg_D"]))
+        sqlcm.add_rule(Rule(name=self.CRASH_RULE, event="Query.Commit",
+                            actions=[InsertAction(self.CRASH_LAT)]))
+        self.site, self.mode = self.rng.choice(self.CRASH_SITES)
+        self.crash_at = round(1.5 + self.rng.random() * 1.5, 3)
+        self.durability_dir = tempfile.mkdtemp(prefix="sqlcm-chaos-crash-")
+        self.durability = DurabilityManager(sqlcm, self.durability_dir)
+        self.durability.attach()
+        self.tap = DigestTap(self.durability)
+        self.recovery_report = None
+        self.recovery_error: str | None = None
+        self.crash_incident_id: int | None = None
+
+    def inject(self, harness) -> None:
+        clients = 2 if self.quick else 3
+        per_client = 30 if self.quick else 50
+        self.load_until = max(self.load_until,
+                              per_client * 0.08 + self.crash_at)
+        for c in range(clients):
+            session = self._session(harness, f"client-{c}")
+            session.submit_script([
+                Statement("SELECT bal FROM chaos_acct WHERE id = "
+                          f"{1 + (c + i) % _SEED_ROWS}", think_time=0.08)
+                for i in range(per_client)
+            ], at=0.02 * c)
+        harness.server.scheduler.spawn("chaos-crash",
+                                       self._crash_process(harness))
+
+    def _crash_process(self, harness):
+        from repro.sim.scheduler import Delay
+
+        yield Delay(self.crash_at)
+        incident = harness.manager.report(
+            "monitor_crash", f"{self.site}:{self.mode}",
+            severity="critical",
+            summary=f"monitor killed at {self.site} ({self.mode}) "
+                    f"t={harness.server.clock.now:g}")
+        self.crash_incident_id = incident.incident_id
+        harness.faults.fail_next(self.site, mode=self.mode)
+        if self.site == "durability.checkpoint":
+            # the crash happens during the checkpoint itself
+            try:
+                self.durability.checkpoint()
+            except Exception:
+                pass
+        # let the workload run into the armed fault (append sites) and
+        # past the crash point, then verify recovery on a fresh monitor
+        yield Delay(1.0)
+        from repro.core.durability import verify_recovery
+        from repro.errors import DurabilityError
+        try:
+            self.recovery_report = verify_recovery(
+                self.durability_dir, self.tap)
+        except DurabilityError as err:
+            self.recovery_error = str(err)
+            return  # incident stays open -> generic invariants fail
+        try:
+            harness.manager.resolve(
+                incident.incident_id,
+                resolution=f"recovery verified: "
+                           f"{self.recovery_report.records_replayed} "
+                           f"records replayed", by="chaos-supervisor")
+        except Exception:
+            pass  # already auto-resolved by the sweeper
+
+    def check(self, harness, failures: list[str]) -> None:
+        if self.crash_incident_id is None:
+            failures.append("crash process never pulled the plug")
+            return
+        if self.recovery_error is not None:
+            failures.append(f"recovery verification failed: "
+                            f"{self.recovery_error}")
+            return
+        report = self.recovery_report
+        if report is None:
+            failures.append("recovery never ran")
+            return
+        if report.records_replayed <= 0:
+            failures.append("journal replay did nothing; crash point "
+                            "was not exercised")
+        if self.site == "durability.append":
+            if not self.durability.journal.dead:
+                failures.append("append fault never fired; the journal "
+                                "outlived the crash")
+            if self.mode == "partial" and not report.records_discarded:
+                failures.append("torn tail left no discarded record")
+
+
 #: registry: scenario name -> class
 SCENARIOS: dict[str, type[ChaosScenario]] = {
     cls.name: cls
     for cls in (BlockingStorm, DeadlockCascade, RunawayQuery,
-                HotRowContention, OverloadSpike)
+                HotRowContention, OverloadSpike, MonitorCrash)
 }
 
 

@@ -41,6 +41,10 @@ Besides SQL, the shell understands monitoring meta-commands:
                        (poison entries are dropped after repeated failure)
 ``.governor``          overload-governor status: ladder state, overhead
                        ratio vs the < 4% envelope, suspended components
+``.checkpoint DIR``    write an atomic durability checkpoint of the full
+                       monitor state (rules, LATs, streams, incidents,
+                       governor, timers) into DIR; further mutations
+                       journal there until the next checkpoint
 ``.metrics``           observability snapshot: counters, gauges, latency
                        histograms, and the TOP OFFENDERS cost ranking
 ``.trace [N]``         last N trace spans (default 20)
@@ -86,6 +90,7 @@ class Shell:
             self.session = None  # SQL routes through the driver
         self.driver = self.sqlcm.driver
         self._trackers: dict[str, object] = {}
+        self._durability = None  # attached by .checkpoint DIR
 
     def _print(self, *parts: object) -> None:
         print(*parts, file=self.out)
@@ -255,6 +260,8 @@ class Shell:
         elif command == ".governor":
             from repro.monitoring.report import governor_status
             self._print(governor_status(self.sqlcm))
+        elif command == ".checkpoint" and len(parts) > 1:
+            self._checkpoint(parts[1])
         elif command == ".metrics":
             self._show_metrics()
         elif command == ".trace":
@@ -273,6 +280,25 @@ class Shell:
                 self._print(f"error: {err}")
         else:
             self._print(f"unknown meta-command {parts[0]!r}; try .help")
+
+    def _checkpoint(self, directory: str) -> None:
+        from repro.core.durability import DurabilityManager
+        try:
+            if self._durability is None \
+                    or self._durability.directory != directory:
+                if self._durability is not None:
+                    self._durability.detach()
+                self._durability = DurabilityManager(self.sqlcm, directory)
+                self._durability.attach()  # takes the first checkpoint
+            else:
+                self._durability.checkpoint()
+            info = self._durability.describe()
+            self._print(f"checkpoint generation {info['generation']} "
+                        f"written to {directory} "
+                        f"({info['checkpoints_taken']} total; mutations "
+                        f"now journal there)")
+        except (ReproError, OSError) as err:
+            self._print(f"error: {err}")
 
     def _show_incidents(self, args: list[str]) -> None:
         if not self.sqlcm.has_incidents:

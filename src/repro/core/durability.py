@@ -1,0 +1,1445 @@
+"""Crash-safe monitor durability: checkpoint + journal + recovery.
+
+The monitor's state — rules and their health, LAT contents, stream window
+panes, open incidents, the governor ladder, dead letters, pending timers —
+lives in memory; this module makes it survive being killed.  Two on-disk
+structures per *generation* N:
+
+* ``checkpoint-000N.ckpt`` — an **atomic checkpoint**: the full monitor
+  state serialized as one text file (versioned header, one ``section``
+  line per subsystem with a CRC32 over its payload, an ``end`` line with
+  a CRC over the section table), written to a temp file and published
+  with ``os.replace``.  A reader either sees a complete, verified
+  checkpoint or rejects the file and falls back to generation N-1.
+* ``journal-000N.wal`` — an **append-only logical redo journal** of every
+  mutation made after checkpoint N, one CRC-framed line per record.  The
+  reader is torn-tail tolerant: it stops at the first record that fails
+  its CRC, fails to parse, or lacks its trailing newline, then discards
+  any trailing records past the last *committed* one.  Records written
+  inside an event dispatch are committed as a group by the per-event
+  ``counts`` marker; records written outside dispatch commit alone.
+
+Recovery loads the newest valid checkpoint and replays its journal, so
+the restored monitor's :meth:`~repro.core.engine.SQLCM.state_digest`
+equals the digest at the last committed journal record before the crash
+— the same replay-stable digest that proves sharded == serial in
+:mod:`repro.shard`.  Crash-point fault injection rides the existing
+:class:`~repro.core.resilience.FaultInjector` at two new sites
+(``durability.checkpoint``, ``durability.append``); the
+``monitor_crash`` chaos drill and ``tests/test_durability.py`` kill the
+monitor at every site and assert digest equality after rebuild.
+
+Deliberately **not** persisted (see DESIGN.md section 14): the pending
+event queue and in-flight dispatch (the journal only commits completed
+event groups), the outbox/command side-effect logs (already delivered),
+the signature registry's numeric ids (rebuilt on demand; instance counts
+are keyed by signature bytes which do round-trip), the governor's open
+measurement window, and per-stream ``events_seen``/``where_rejected``
+tallies between checkpoints.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import zlib
+from collections import deque
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Callable
+
+from repro.core.actions import (Action, CancelAction, InsertAction,
+                                ResetAction, PersistAction,
+                                RunExternalAction, SendMailAction,
+                                SetTimerAction)
+from repro.core.aggregates import AgingSpec, AgingState, FirstAgg, LastAgg
+from repro.core.engine import SQLCM
+from repro.core.governor import (GovernorPolicy, GovernorTransition,
+                                 OverloadGovernor)
+from repro.core.incidents import (CancelBlockerAction, Incident,
+                                  IncidentPolicy, OpenIncidentAction,
+                                  QuarantineRuleAction, RemediationRecord,
+                                  ResetLATAction)
+from repro.core.lat import (AggSpec, GroupSpec, LAT, LATDefinition,
+                            OrderSpec, _Row)
+from repro.core.resilience import DeadLetter, RuleHealth
+from repro.core.rules import Rule
+from repro.errors import DurabilityError, FaultInjected
+
+CHECKPOINT_HEADER = "SQLCM-CHECKPOINT v1"
+_NEG_INF = float("-inf")
+
+
+# ---------------------------------------------------------------------------
+# literal codec: everything on disk round-trips through repr/literal_eval
+# ---------------------------------------------------------------------------
+
+def _literalize(value: Any) -> Any:
+    """Coerce a value into something ``ast.literal_eval`` can read back."""
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        # inf/nan have no literal form; clamp to a parseable stand-in
+        return value if value == value and abs(value) != float("inf") else 0.0
+    if isinstance(value, tuple):
+        return tuple(_literalize(v) for v in value)
+    if isinstance(value, (list, deque)):
+        return [_literalize(v) for v in value]
+    if isinstance(value, dict):
+        return {_literalize(k): _literalize(v) for k, v in value.items()}
+    return str(value)
+
+
+# FIRST/LAST carry class-level "no value yet" sentinels that repr cannot
+# round-trip; aging aggregates carry block deques.  States are encoded as
+# small tagged lists (raw states are never lists, so the tag is unambiguous):
+# ["V", value] plain, ["E"] empty sentinel, ["A", [(block_start, enc), ...]].
+_EMPTY_SENTINELS = (FirstAgg._EMPTY, LastAgg._EMPTY)
+
+
+def _enc_plain(state: Any) -> list:
+    for sentinel in _EMPTY_SENTINELS:
+        if state is sentinel:
+            return ["E"]
+    return ["V", _literalize(state)]
+
+
+def _dec_plain(enc: list, func) -> Any:
+    if enc[0] == "E":
+        return func.new_state()
+    value = enc[1]
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _enc_state(state: Any) -> list:
+    if isinstance(state, AgingState):
+        return ["A", [(start, _enc_plain(block))
+                      for start, block in state.blocks]]
+    return _enc_plain(state)
+
+
+def _dec_state(enc: list, func, aging: AgingSpec | None) -> Any:
+    if enc[0] == "A":
+        state = AgingState(func, aging)
+        state.blocks.extend((start, _dec_plain(block, func))
+                            for start, block in enc[1])
+        return state
+    return _dec_plain(enc, func)
+
+
+def _dec_tuple(value: Any) -> tuple:
+    return tuple(value)
+
+
+# ---------------------------------------------------------------------------
+# component specs: LAT definitions, actions, rules
+# ---------------------------------------------------------------------------
+
+def lat_definition_spec(definition: LATDefinition) -> dict:
+    return {
+        "name": definition.name,
+        "monitored_class": definition.monitored_class,
+        "grouping": [(g.attr, g.alias) for g in definition.grouping],
+        "aggregations": [
+            (a.func, a.attr, a.alias,
+             None if a.aging is None else (a.aging.window, a.aging.delta))
+            for a in definition.aggregations],
+        "ordering": [(o.column, o.descending) for o in definition.ordering],
+        "max_rows": definition.max_rows,
+        "max_bytes": definition.max_bytes,
+        "criticality": definition.criticality,
+    }
+
+
+def lat_definition_from_spec(spec: dict) -> LATDefinition:
+    return LATDefinition(
+        name=spec["name"],
+        monitored_class=spec["monitored_class"],
+        grouping=[GroupSpec(attr, alias) for attr, alias in spec["grouping"]],
+        aggregations=[
+            AggSpec(func, attr, alias,
+                    None if aging is None else AgingSpec(*aging))
+            for func, attr, alias, aging in spec["aggregations"]],
+        ordering=[OrderSpec(column, descending)
+                  for column, descending in spec["ordering"]],
+        max_rows=spec["max_rows"],
+        max_bytes=spec["max_bytes"],
+        criticality=spec["criticality"],
+    )
+
+
+# every declaratively-constructed action round-trips; CallbackAction holds
+# a live closure and cannot (its rules are re-created by the recovery
+# ``setup`` callback or reported as placeholders)
+_ACTION_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (InsertAction, ResetAction, PersistAction, SendMailAction,
+                RunExternalAction, CancelAction, SetTimerAction,
+                OpenIncidentAction, CancelBlockerAction,
+                QuarantineRuleAction, ResetLATAction)
+}
+
+
+def action_spec(action: Action) -> list | None:
+    name = type(action).__name__
+    cls = _ACTION_TYPES.get(name)
+    if cls is None or type(action) is not cls:
+        return None
+    kwargs = {f.name: _literalize(getattr(action, f.name))
+              for f in dataclass_fields(cls)}
+    return [name, kwargs]
+
+
+def action_from_spec(spec: list) -> Action:
+    name, kwargs = spec
+    cls = _ACTION_TYPES[name]
+    decoded = {}
+    for f in dataclass_fields(cls):
+        if f.name not in kwargs:
+            continue
+        value = kwargs[f.name]
+        decoded[f.name] = value
+    return cls(**decoded)
+
+
+def rule_spec(rule: Rule) -> dict:
+    return {
+        "name": rule.name,
+        "event": rule.event,
+        "condition": rule.condition,
+        "enabled": rule.enabled,
+        "criticality": rule.criticality,
+        "actions": [action_spec(a) for a in rule.actions],
+        "fire_count": rule.fire_count,
+        "evaluation_count": rule.evaluation_count,
+    }
+
+
+# ---------------------------------------------------------------------------
+# subsystem images: health, governor, incidents, dead letters
+# ---------------------------------------------------------------------------
+
+_HEALTH_FIELDS = ("state", "error_count", "condition_errors",
+                  "action_errors", "quarantine_count", "quarantined_at",
+                  "reactivate_at", "quarantine_reason", "last_error",
+                  "last_site", "current_cooldown")
+
+
+def health_image(health: RuleHealth) -> dict:
+    image = {"name": health.name,
+             "recent_failures": list(health.recent_failures)}
+    for name in _HEALTH_FIELDS:
+        image[name] = _literalize(getattr(health, name))
+    return image
+
+
+def apply_health_image(registry, image: dict) -> None:
+    health = registry.health_of(image["name"])
+    for name in _HEALTH_FIELDS:
+        setattr(health, name, image[name])
+    health.recent_failures.clear()
+    health.recent_failures.extend(image["recent_failures"])
+
+
+_GOVERNOR_POLICY_FIELDS = ("target_overhead", "exit_overhead", "window",
+                           "cooldown", "decision_interval", "sample_rate",
+                           "shed_headroom")
+_GOVERNOR_COUNTERS = ("events_seen", "evals_sampled_out", "evals_suspended",
+                      "inserts_shed", "stream_events_shed",
+                      "requests_denied", "measured_ratio",
+                      "estimated_ratio", "sample_digest")
+
+
+def governor_image(governor: OverloadGovernor) -> dict:
+    policy = governor.policy
+    image = {
+        "policy": {name: getattr(policy, name)
+                   for name in _GOVERNOR_POLICY_FIELDS},
+        "state": governor.state,
+        "last_transition_at": (None
+                               if governor.last_transition_at == _NEG_INF
+                               else governor.last_transition_at),
+        "suspended": sorted(governor.suspended),
+        "transitions": [
+            (t.time, t.from_state, t.to_state, t.reason,
+             t.overhead_ratio, t.estimated_ratio, list(t.suspended))
+            for t in governor.transitions],
+        "ema": dict(governor._ema),
+        "global_ema": governor._global_ema,
+        "event_seq": governor._event_seq,
+        "event_salt": governor._event_salt,
+    }
+    for name in _GOVERNOR_COUNTERS:
+        image[name] = getattr(governor, name)
+    return image
+
+
+def apply_governor_image(sqlcm: SQLCM, image: dict) -> OverloadGovernor:
+    if sqlcm.governor is None:
+        sqlcm.enable_governor(GovernorPolicy(**image["policy"]))
+    governor = sqlcm.governor
+    governor.state = image["state"]
+    governor.last_transition_at = (
+        _NEG_INF if image["last_transition_at"] is None
+        else image["last_transition_at"])
+    governor.suspended = {tuple(entry) for entry in image["suspended"]}
+    governor.transitions = [
+        GovernorTransition(time=t, from_state=f, to_state=to, reason=r,
+                           overhead_ratio=o, estimated_ratio=e,
+                           suspended=tuple(s))
+        for t, f, to, r, o, e, s in image["transitions"]]
+    governor._ema = {tuple(k) if isinstance(k, list) else k: v
+                     for k, v in image["ema"].items()}
+    governor._global_ema = image["global_ema"]
+    governor._event_seq = image["event_seq"]
+    governor._event_salt = image["event_salt"]
+    for name in _GOVERNOR_COUNTERS:
+        setattr(governor, name, image[name])
+    return governor
+
+
+_INCIDENT_FIELDS = ("severity", "summary", "state", "acked_at",
+                    "resolved_at", "resolution", "last_seen",
+                    "occurrences", "escalated")
+
+
+def incident_image(manager, incident: Incident) -> dict:
+    return {
+        "incident": {
+            "incident_id": incident.incident_id,
+            "incident_class": incident.incident_class,
+            "signature": incident.signature,
+            "opened_at": incident.opened_at,
+            "remediations": [
+                (r.time, r.action, r.target, r.outcome, r.detail)
+                for r in incident.remediations],
+            "timeline": [tuple(_literalize(entry))
+                         for entry in incident.timeline],
+            **{name: _literalize(getattr(incident, name))
+               for name in _INCIDENT_FIELDS},
+        },
+        "counters": incident_counters(manager),
+    }
+
+
+def incident_counters(manager) -> dict:
+    return {
+        "opened": manager.opened,
+        "deduplicated": manager.deduplicated,
+        "resolved_count": manager.resolved_count,
+        "escalations": manager.escalations,
+        "remediation_counts": dict(manager.remediation_counts),
+        "next_id": manager._next_id,
+        "open_times": [(list(key), list(times))
+                       for key, times in manager._open_times.items()],
+    }
+
+
+def apply_incident_image(manager, image: dict) -> Incident:
+    data = image["incident"]
+    incident = manager._incidents.get(data["incident_id"])
+    if incident is None:
+        incident = Incident(
+            incident_id=data["incident_id"],
+            incident_class=data["incident_class"],
+            signature=data["signature"],
+            severity=data["severity"],
+            summary=data["summary"],
+            opened_at=data["opened_at"],
+        )
+        manager._incidents[incident.incident_id] = incident
+    for name in _INCIDENT_FIELDS:
+        setattr(incident, name, data[name])
+    incident.remediations = [
+        RemediationRecord(time=t, incident_id=incident.incident_id,
+                          action=action, target=target, outcome=outcome,
+                          detail=detail)
+        for t, action, target, outcome, detail in data["remediations"]]
+    incident.timeline = [tuple(entry) for entry in data["timeline"]]
+    if incident.active:
+        manager._active[incident.key] = incident.incident_id
+    else:
+        manager._active.pop(incident.key, None)
+    apply_incident_counters(manager, image["counters"])
+    return incident
+
+
+def apply_incident_counters(manager, counters: dict) -> None:
+    manager.opened = counters["opened"]
+    manager.deduplicated = counters["deduplicated"]
+    manager.resolved_count = counters["resolved_count"]
+    manager.escalations = counters["escalations"]
+    manager.remediation_counts = dict(counters["remediation_counts"])
+    manager._next_id = max(manager._next_id, counters["next_id"])
+    manager._open_times.clear()
+    for key, times in counters["open_times"]:
+        manager._open_times[tuple(key)] = deque(times)
+
+
+def dead_letter_image(entry: DeadLetter) -> list:
+    return [entry.time, entry.rule, entry.action,
+            _literalize(entry.payload), entry.error, entry.attempts]
+
+
+def dead_letter_from_image(image: list) -> DeadLetter:
+    time, rule, action, payload, error, attempts = image
+    return DeadLetter(time=time, rule=rule, action=action, payload=payload,
+                      error=error, attempts=attempts)
+
+
+# ---------------------------------------------------------------------------
+# the append-only journal
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JournalRecord:
+    seq: int
+    kind: str
+    commit: bool
+    time: float
+    data: Any
+
+
+class Journal:
+    """Append-only logical redo journal with group-commit markers.
+
+    One CRC-framed text line per record::
+
+        <crc32 of payload, 8 hex chars> <repr((seq, kind, commit, time, data))>\\n
+
+    ``commit`` semantics: records appended while the owning monitor is
+    inside event dispatch default to ``False`` — the per-event ``counts``
+    record at the end of ``_process_event`` carries an explicit
+    ``commit=True`` and commits the whole group.  Records appended
+    outside dispatch commit alone.  Recovery replays records only up to
+    and including the last committed one; an uncommitted tail (crash
+    mid-event) is discarded, exactly like a torn tail.
+
+    A fault injected at ``durability.append`` marks the journal **dead**
+    (the process crashed as far as the disk is concerned): subsequent
+    appends are dropped silently, simulating post-crash execution the
+    recovery must not see.  ``partial`` mode additionally writes a torn
+    half-line first.  A real ``OSError`` also fails open — monitoring
+    must never die because its journal disk did — and bumps the
+    ``sqlcm.durability.journal_failed`` metric.
+    """
+
+    def __init__(self, sqlcm: SQLCM,
+                 dispatching: Callable[[], bool] | None = None):
+        self._sqlcm = sqlcm
+        self._dispatching = (dispatching if dispatching is not None
+                             else lambda: sqlcm._dispatching)
+        self._file = None
+        self.path: str | None = None
+        self.seq = 0
+        self.dead = False
+        self.records_written = 0
+        self.on_commit: list[Callable[[], None]] = []
+
+    @property
+    def clock(self):
+        return self._sqlcm.server.clock
+
+    def rotate(self, path: str) -> None:
+        """Close the current segment and start a fresh one (post-checkpoint)."""
+        self.close()
+        self._file = open(path, "w", encoding="utf-8")
+        self.path = path
+        self.dead = False
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def append(self, kind: str, data: Any, commit: bool | None = None) -> None:
+        if self.dead or self._file is None:
+            return
+        if commit is None:
+            commit = not self._dispatching()
+        self.seq += 1
+        payload = repr((self.seq, kind, bool(commit), self.clock.now,
+                        _literalize(data)))
+        line = f"{zlib.crc32(payload.encode('utf-8')):08x} {payload}\n"
+        try:
+            self._sqlcm.check_fault("durability.append")
+        except FaultInjected as err:
+            if err.mode == "partial":
+                # a torn tail: the first half of the line hit the disk
+                self._file.write(line[: max(1, len(line) // 2)])
+                self._file.flush()
+            self.dead = True
+            return
+        try:
+            self._file.write(line)
+            self._file.flush()
+        except OSError:
+            self.dead = True
+            self._sqlcm.server.obs.count("sqlcm.durability.journal_failed")
+            return
+        self.records_written += 1
+        if commit:
+            for callback in self.on_commit:
+                callback()
+
+    # convenience appenders used by the wired subsystems (keeps the spec
+    # codecs out of the hot modules)
+
+    def lat_created(self, definition: LATDefinition) -> None:
+        self.append("lat_create", {"definition": lat_definition_spec(definition)})
+
+    def lat_dropped(self, name: str) -> None:
+        self.append("lat_drop", {"name": name})
+
+    def rule_added(self, rule: Rule) -> None:
+        self.append("rule_add", {"rule": rule_spec(rule)})
+
+    def rule_removed(self, name: str) -> None:
+        self.append("rule_remove", {"name": name})
+
+    def rule_enabled(self, name: str, enabled: bool) -> None:
+        self.append("rule_enable", {"name": name, "enabled": enabled})
+
+    def stream_registered(self, query) -> None:
+        self.append("stream_register", {
+            "text": query.spec.text,
+            "name": query.name,
+            "sink_lat": query.sink_lat,
+            "criticality": query.criticality,
+            "max_alerts": query.alerts.maxlen,
+        })
+
+    def stream_removed(self, name: str) -> None:
+        self.append("stream_remove", {"name": name})
+
+    def health_changed(self, namespace: str, health: RuleHealth) -> None:
+        self.append("health", {"ns": namespace, "image": health_image(health)})
+
+    def incident_changed(self, manager, incident: Incident) -> None:
+        self.append("incident", incident_image(manager, incident))
+
+    def governor_changed(self, governor: OverloadGovernor) -> None:
+        self.append("governor", governor_image(governor))
+
+    def dead_lettered(self, entry: DeadLetter) -> None:
+        self.append("deadletter", {"entry": dead_letter_image(entry)})
+
+    def attach_stream_health(self, streams) -> None:
+        """Wire a (possibly lazily-created) stream engine's health registry."""
+        streams.health.journal_hook = (
+            lambda health: self.health_changed("stream", health))
+
+
+def read_journal(path: str) -> tuple[list[JournalRecord], int]:
+    """Read a journal segment, tolerating a torn tail.
+
+    Returns ``(committed_records, discarded)`` where ``discarded`` counts
+    valid-but-uncommitted trailing records plus any torn line.  Reading
+    stops at the first line that fails its CRC, fails to parse, or lacks
+    its trailing newline.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        content = handle.read()
+    records: list[JournalRecord] = []
+    torn = 0
+    pieces = content.split("\n")
+    # a well-formed file ends with "\n", leaving one empty trailing piece;
+    # anything else in the final slot is a torn line
+    if pieces and pieces[-1] == "":
+        pieces.pop()
+    elif pieces:
+        torn = 1
+        pieces.pop()
+    for line in pieces:
+        crc_hex, sep, payload = line.partition(" ")
+        if not sep or len(crc_hex) != 8:
+            torn = 1
+            break
+        try:
+            if int(crc_hex, 16) != zlib.crc32(payload.encode("utf-8")):
+                torn = 1
+                break
+            seq, kind, commit, time, data = ast.literal_eval(payload)
+        except (ValueError, SyntaxError):
+            torn = 1
+            break
+        records.append(JournalRecord(seq, kind, commit, time, data))
+    last_commit = -1
+    for index, record in enumerate(records):
+        if record.commit:
+            last_commit = index
+    committed = records[: last_commit + 1]
+    discarded = len(records) - len(committed) + torn
+    return committed, discarded
+
+
+# ---------------------------------------------------------------------------
+# checkpoint file format
+# ---------------------------------------------------------------------------
+
+def render_checkpoint(sections: dict[str, Any]) -> str:
+    lines = [CHECKPOINT_HEADER]
+    table_crc = 0
+    for name, payload in sections.items():
+        text = repr(payload)
+        crc = zlib.crc32(text.encode("utf-8"))
+        table_crc = zlib.crc32(f"{name}:{crc:08x}".encode("utf-8"), table_crc)
+        lines.append(f"section {name} {crc:08x} {text}")
+    lines.append(f"end {table_crc:08x}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_checkpoint(path: str) -> dict[str, Any]:
+    """Parse and CRC-verify a checkpoint; raises DurabilityError if invalid."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        content = handle.read()
+    lines = content.split("\n")
+    if not lines or lines[0] != CHECKPOINT_HEADER:
+        raise DurabilityError(f"{path}: bad checkpoint header")
+    sections: dict[str, Any] = {}
+    table_crc = 0
+    ended = False
+    for line in lines[1:]:
+        if not line:
+            continue
+        if line.startswith("section "):
+            if ended:
+                raise DurabilityError(f"{path}: section after end marker")
+            try:
+                __, name, crc_hex, text = line.split(" ", 3)
+            except ValueError:
+                raise DurabilityError(f"{path}: malformed section line")
+            if int(crc_hex, 16) != zlib.crc32(text.encode("utf-8")):
+                raise DurabilityError(f"{path}: CRC mismatch in {name!r}")
+            try:
+                sections[name] = ast.literal_eval(text)
+            except (ValueError, SyntaxError) as err:
+                raise DurabilityError(
+                    f"{path}: unreadable section {name!r}") from err
+            table_crc = zlib.crc32(f"{name}:{crc_hex}".encode("utf-8"),
+                                   table_crc)
+        elif line.startswith("end "):
+            if int(line.split(" ", 1)[1], 16) != table_crc:
+                raise DurabilityError(f"{path}: section table CRC mismatch")
+            ended = True
+        else:
+            raise DurabilityError(f"{path}: unrecognized line")
+    if not ended:
+        raise DurabilityError(f"{path}: missing end marker (torn write)")
+    return sections
+
+
+# ---------------------------------------------------------------------------
+# checkpoint section builders
+# ---------------------------------------------------------------------------
+
+def _lat_section(lat: LAT) -> dict:
+    return {
+        "definition": lat_definition_spec(lat.definition),
+        "seq": lat._seq,
+        "rows": [(row.key, [_enc_state(s) for s in row.states], row.seq)
+                 for row in lat._rows.values()],
+        "counters": (lat.insert_count, lat.eviction_count,
+                     lat.latch_acquisitions, lat.peak_rows, lat.seed_count),
+    }
+
+
+def _load_lat_section(lat: LAT, data: dict) -> None:
+    lat._rows.clear()
+    aggs = lat.definition.aggregations
+    for key, states, seq in data["rows"]:
+        key = tuple(key)
+        decoded = [_dec_state(enc, func, spec.aging)
+                   for enc, spec, func in zip(states, aggs, lat._functions)]
+        row = _Row(key, decoded, seq)
+        lat._rows[key] = row
+    lat._seq = data["seq"]
+    (lat.insert_count, lat.eviction_count, lat.latch_acquisitions,
+     lat.peak_rows, lat.seed_count) = data["counters"]
+
+
+def _stream_query_section(query) -> dict:
+    deviation = None
+    if query.deviation is not None:
+        deviation = {
+            "history": [(key, list(values))
+                        for key, values in query.deviation._history.items()],
+            "observations": query.deviation.observations,
+            "flagged": query.deviation.flagged,
+        }
+    topk = None
+    if query.topk is not None:
+        topk = {"windows_ranked": query.topk.windows_ranked}
+    return {
+        "text": query.spec.text,
+        "name": query.name,
+        "sink_lat": query.sink_lat,
+        "criticality": query.criticality,
+        "max_alerts": query.alerts.maxlen,
+        "enabled": query.enabled,
+        "next_boundary": query.next_boundary,
+        "counters": (query.events_seen, query.events_ingested,
+                     query.where_rejected, query.windows_emitted,
+                     query.alert_count, query.errors),
+        "last_error": query.last_error,
+        "alerts": [_literalize(alert) for alert in query.alerts],
+        "window": [(key, [(pane, [_enc_plain(s) for s in states])
+                          for pane, states in panes])
+                   for key, panes in query.window.groups.items()],
+        "window_ops": (query.window.update_ops, query.window.combine_ops),
+    } | {"deviation": deviation, "topk": topk}
+
+
+def _load_stream_query_section(streams, data: dict):
+    query = streams.register(
+        data["text"], name=data["name"], sink_lat=data["sink_lat"],
+        max_alerts=data["max_alerts"], criticality=data["criticality"])
+    query.enabled = data["enabled"]
+    query.next_boundary = data["next_boundary"]
+    (query.events_seen, query.events_ingested, query.where_rejected,
+     query.windows_emitted, query.alert_count,
+     query.errors) = data["counters"]
+    query.last_error = data["last_error"]
+    for alert in data["alerts"]:
+        alert = dict(alert)
+        if isinstance(alert.get("key"), list):
+            alert["key"] = tuple(alert["key"])
+        query.alerts.append(alert)
+    funcs = query.window.funcs
+    query.window.groups = {
+        tuple(key): deque((pane, [_dec_plain(enc, func)
+                                  for enc, func in zip(states, funcs)])
+                          for pane, states in panes)
+        for key, panes in data["window"]}
+    query.window.update_ops, query.window.combine_ops = data["window_ops"]
+    if query.deviation is not None and data["deviation"] is not None:
+        operator = query.deviation
+        operator._history = {
+            tuple(key): deque(values, maxlen=operator.spec.history)
+            for key, values in data["deviation"]["history"]}
+        operator.observations = data["deviation"]["observations"]
+        operator.flagged = data["deviation"]["flagged"]
+    if query.topk is not None and data["topk"] is not None:
+        query.topk.windows_ranked = data["topk"]["windows_ranked"]
+    return query
+
+
+_INCIDENT_POLICY_FIELDS = ("escalation_timeout", "clear_after",
+                           "sweep_interval", "max_remediations",
+                           "remediation_window", "flap_threshold",
+                           "flap_window", "history", "alert_to_incident")
+
+
+def build_sections(sqlcm: SQLCM) -> dict[str, Any]:
+    """The full monitor state of one serial SQLCM, as checkpoint sections."""
+    clock = sqlcm.server.clock
+    sections: dict[str, Any] = {
+        "meta": {
+            "version": 1,
+            "time": clock.now,
+            "events_handled": sqlcm.events_handled,
+            "rule_firings": sqlcm.rule_firings,
+            "rule_errors": sqlcm.rule_errors,
+        },
+    }
+    incidents = sqlcm._incidents
+    if incidents is not None:
+        policy = incidents.policy
+        sections["incidents"] = {
+            "policy": ({name: getattr(policy, name)
+                        for name in _INCIDENT_POLICY_FIELDS}
+                       | {"alert_kinds": list(policy.alert_kinds)}),
+            "incidents": [incident_image(incidents, incident)["incident"]
+                          for incident in incidents._incidents.values()],
+            "counters": incident_counters(incidents),
+        }
+    sections["lats"] = [_lat_section(lat) for lat in sqlcm.lats()]
+    sections["rules"] = [rule_spec(rule) for rule in sqlcm._rule_order]
+    streams = sqlcm._streams
+    if streams is not None:
+        sections["streams"] = {
+            "queries": [_stream_query_section(query)
+                        for query in streams._queries.values()],
+            "counters": (streams.events_seen, streams.alerts_published,
+                         streams.errors),
+        }
+    health = {"engine": [health_image(h)
+                         for h in sqlcm.health._health.values()]}
+    if streams is not None:
+        health["stream"] = [health_image(h)
+                            for h in streams.health._health.values()]
+    sections["health"] = health
+    sections["instances"] = sorted(
+        (sig.hex(), count) for sig, count in sqlcm._instance_counts.items())
+    governor = sqlcm.governor
+    sections["governor"] = (None if governor is None
+                            else governor_image(governor))
+    letters = sqlcm.dead_letters
+    sections["deadletters"] = {
+        "entries": [dead_letter_image(entry) for entry in letters.entries()],
+        "capacity": letters.capacity,
+        "dropped": letters.dropped,
+        "poison_dropped": letters.poison_dropped,
+    }
+    sections["timers"] = [
+        (timer.name, timer.interval, timer.remaining)
+        for timer in sqlcm.timer_service.timers()]
+    if incidents is not None and incidents.policy.history:
+        tables = {}
+        for table_name in incidents.history_tables():
+            if sqlcm.server.catalog.has_table(table_name):
+                table = sqlcm.server.table(table_name)
+                tables[table_name] = [
+                    _literalize(list(row)) for __, row in table.scan()]
+        sections["history"] = tables
+    return sections
+
+
+def build_sections_sharded(sharded) -> dict[str, Any]:
+    """Checkpoint sections for a ShardedSQLCM, built from merged state.
+
+    Covers the digest-bearing state (merged LATs, summed rule counters,
+    summed instance counts, summed totals) plus registrations and merged
+    stream panes.  Supervisory state (health, incidents, governor ladder,
+    dead letters, timers) is per-shard and is carried by the journal
+    between checkpoints rather than merged here; recovery of a sharded
+    journal always targets a *serial* monitor.
+    """
+    clock = sharded.server.clock
+    control = sharded.shards[0].sqlcm
+    sections: dict[str, Any] = {
+        "meta": {
+            "version": 1,
+            "time": clock.now,
+            "events_handled": sum(s.sqlcm.events_handled
+                                  for s in sharded.shards),
+            "rule_firings": sum(s.sqlcm.rule_firings
+                                for s in sharded.shards),
+            "rule_errors": sum(s.sqlcm.rule_errors for s in sharded.shards),
+        },
+    }
+    lats = []
+    for name in sorted(sharded._lat_definitions):
+        merged = sharded.merged_lat(name)
+        lats.append(_lat_section(merged))
+    sections["lats"] = lats
+    rules = []
+    for rule in control._rule_order:
+        spec = rule_spec(rule)
+        fires, evals = sharded.rule_stats(rule.name)
+        spec["fire_count"] = fires
+        spec["evaluation_count"] = evals
+        rules.append(spec)
+    sections["rules"] = rules
+    streams = control._streams
+    if streams is not None:
+        queries = []
+        for query in streams._queries.values():
+            data = _stream_query_section(query)
+            merged = sharded.merged_window(query.name)
+            data["window"] = [
+                (key, [(pane, [_enc_plain(s) for s in states])
+                       for pane, states in panes])
+                for key, panes in merged.groups.items()]
+            counters = [0] * 6
+            for shard in sharded.shards:
+                q = shard.sqlcm._streams.query(query.name)
+                for i, value in enumerate((q.events_seen, q.events_ingested,
+                                           q.where_rejected,
+                                           q.windows_emitted, q.alert_count,
+                                           q.errors)):
+                    counters[i] += value
+            data["counters"] = tuple(counters)
+            data["alerts"] = []  # per-shard rings have no merge order
+            queries.append(data)
+        sections["streams"] = {
+            "queries": queries,
+            "counters": (
+                sum(s.sqlcm._streams.events_seen for s in sharded.shards
+                    if s.sqlcm._streams is not None),
+                sum(s.sqlcm._streams.alerts_published for s in sharded.shards
+                    if s.sqlcm._streams is not None),
+                sum(s.sqlcm._streams.errors for s in sharded.shards
+                    if s.sqlcm._streams is not None)),
+        }
+    instances: dict[bytes, int] = {}
+    for shard in sharded.shards:
+        for sig, count in shard.sqlcm._instance_counts.items():
+            instances[sig] = instances.get(sig, 0) + count
+    sections["instances"] = sorted(
+        (sig.hex(), count) for sig, count in instances.items())
+    return sections
+
+
+# ---------------------------------------------------------------------------
+# checkpoint restore + journal replay
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RecoveryReport:
+    """What a recovery did; ``sqlcm`` is the rebuilt serial monitor."""
+
+    sqlcm: SQLCM
+    generation: int
+    checkpoint_path: str
+    journal_path: str
+    records_replayed: int = 0
+    records_discarded: int = 0
+    placeholder_rules: list[str] = field(default_factory=list)
+
+
+class _Restorer:
+    """Applies checkpoint sections and journal records to a fresh monitor."""
+
+    def __init__(self, sqlcm: SQLCM, report: RecoveryReport):
+        self.sqlcm = sqlcm
+        self.report = report
+        self.pending_timers: dict[str, tuple[float, int]] = {}
+        # history rows replay only into a server that did not already
+        # hold the history tables (a live supervised restart keeps them)
+        self.apply_history = True
+
+    # -- checkpoint ------------------------------------------------------
+
+    def load_checkpoint(self, sections: dict[str, Any]) -> None:
+        sqlcm = self.sqlcm
+        meta = sections["meta"]
+        sqlcm.server.clock.advance_to(meta["time"])
+        sqlcm.events_handled = meta["events_handled"]
+        sqlcm.rule_firings = meta["rule_firings"]
+        sqlcm.rule_errors = meta["rule_errors"]
+        incidents = sections.get("incidents")
+        if incidents is not None:
+            policy_spec = dict(incidents["policy"])
+            policy_spec["alert_kinds"] = tuple(policy_spec["alert_kinds"])
+            self.apply_history = not sqlcm.server.catalog.has_table(
+                "sqlcm_incidents")
+            manager = sqlcm.incident_manager(IncidentPolicy(**policy_spec))
+            for image in incidents["incidents"]:
+                apply_incident_image(
+                    manager, {"incident": image,
+                              "counters": incidents["counters"]})
+            apply_incident_counters(manager, incidents["counters"])
+        for lat_data in sections.get("lats", ()):
+            definition = lat_definition_from_spec(lat_data["definition"])
+            if not sqlcm.has_lat(definition.name):
+                sqlcm.create_lat(definition)
+        for spec in sections.get("rules", ()):
+            self._restore_rule(spec)
+        streams_data = sections.get("streams")
+        if streams_data is not None:
+            streams = sqlcm.stream_engine()
+            for query_data in streams_data["queries"]:
+                if query_data["name"].lower() not in streams._queries:
+                    _load_stream_query_section(streams, query_data)
+                else:
+                    # re-registered by an earlier restore step; refresh state
+                    streams.remove(query_data["name"])
+                    _load_stream_query_section(streams, query_data)
+            (streams.events_seen, streams.alerts_published,
+             streams.errors) = streams_data["counters"]
+        for lat_data in sections.get("lats", ()):
+            lat = sqlcm.lat(lat_data["definition"]["name"])
+            _load_lat_section(lat, lat_data)
+        health = sections.get("health", {})
+        for image in health.get("engine", ()):
+            apply_health_image(sqlcm.health, image)
+        stream_health = health.get("stream")
+        if stream_health:
+            registry = sqlcm.stream_engine().health
+            for image in stream_health:
+                apply_health_image(registry, image)
+        self._apply_instances(sections.get("instances", ()), absolute=True)
+        governor = sections.get("governor")
+        if governor is not None:
+            apply_governor_image(sqlcm, governor)
+        letters = sections.get("deadletters")
+        if letters is not None:
+            sqlcm.dead_letters.capacity = letters["capacity"]
+            sqlcm.dead_letters.dropped = letters["dropped"]
+            sqlcm.dead_letters.poison_dropped = letters["poison_dropped"]
+            for image in letters["entries"]:
+                sqlcm.dead_letters._entries.append(
+                    dead_letter_from_image(image))
+        for name, interval, remaining in sections.get("timers", ()):
+            self.pending_timers[name.lower()] = (name, interval, remaining)
+        history = sections.get("history")
+        if history and self.apply_history:
+            self._restore_history(history)
+
+    def _restore_rule(self, spec: dict) -> None:
+        sqlcm = self.sqlcm
+        key = spec["name"].lower()
+        rule = sqlcm.rules.get(key)
+        if rule is None:
+            actions = []
+            placeholder = False
+            for action in spec["actions"]:
+                if action is None:
+                    placeholder = True
+                else:
+                    actions.append(action_from_spec(action))
+            if placeholder and not actions:
+                # a pure-callback rule (e.g. an app component's) cannot be
+                # rebuilt from disk; the recovery setup() callback is the
+                # supported path — report it so the operator knows
+                self.report.placeholder_rules.append(spec["name"])
+                return
+            if placeholder:
+                self.report.placeholder_rules.append(spec["name"])
+            rule = sqlcm.add_rule(Rule(
+                name=spec["name"], event=spec["event"],
+                condition=spec["condition"], actions=actions,
+                enabled=spec["enabled"], criticality=spec["criticality"]))
+        rule.enabled = spec["enabled"]
+        rule.fire_count = spec["fire_count"]
+        rule.evaluation_count = spec["evaluation_count"]
+
+    def _restore_history(self, tables: dict[str, list]) -> None:
+        sqlcm = self.sqlcm
+        manager = sqlcm._incidents
+        if manager is None:
+            return
+        manager._ensure_history()
+        for table_name, rows in tables.items():
+            if not sqlcm.server.catalog.has_table(table_name):
+                continue
+            table = sqlcm.server.table(table_name)
+            for row in rows:
+                table.insert(list(row))
+
+    def _apply_instances(self, entries, absolute: bool) -> None:
+        counts = self.sqlcm._instance_counts
+        if absolute:
+            counts.clear()
+            for sig_hex, count in entries:
+                counts[bytes.fromhex(sig_hex)] = count
+
+    # -- journal ---------------------------------------------------------
+
+    def replay(self, records: list[JournalRecord]) -> None:
+        for record in records:
+            self.sqlcm.server.clock.advance_to(record.time)
+            handler = getattr(self, f"_replay_{record.kind}", None)
+            if handler is None:
+                raise DurabilityError(
+                    f"unknown journal record kind {record.kind!r}")
+            handler(record.data, record.time)
+            self.report.records_replayed += 1
+
+    def finish(self) -> None:
+        """Re-arm pending timers (last: their processes need final clock)."""
+        for name, interval, remaining in self.pending_timers.values():
+            self.sqlcm.set_timer(name, interval, remaining)
+
+    def _replay_lat_insert(self, data: dict, t: float) -> None:
+        if self.sqlcm.has_lat(data["lat"]):
+            self.sqlcm.lat(data["lat"]).insert(
+                data["values"], data["weight"], now=data["time"])
+
+    def _replay_lat_seed(self, data: dict, t: float) -> None:
+        if self.sqlcm.has_lat(data["lat"]):
+            self.sqlcm.lat(data["lat"]).seed_row(
+                data["values"], now=data["time"])
+
+    def _replay_lat_reset(self, data: dict, t: float) -> None:
+        if self.sqlcm.has_lat(data["lat"]):
+            self.sqlcm.lat(data["lat"]).reset()
+
+    def _replay_lat_del(self, data: dict, t: float) -> None:
+        if self.sqlcm.has_lat(data["lat"]):
+            self.sqlcm.lat(data["lat"]).delete_row(tuple(data["key"]))
+
+    def _replay_lat_create(self, data: dict, t: float) -> None:
+        definition = lat_definition_from_spec(data["definition"])
+        if not self.sqlcm.has_lat(definition.name):
+            self.sqlcm.create_lat(definition)
+
+    def _replay_lat_drop(self, data: dict, t: float) -> None:
+        if self.sqlcm.has_lat(data["name"]):
+            self.sqlcm.drop_lat(data["name"])
+
+    def _replay_rule_add(self, data: dict, t: float) -> None:
+        spec = dict(data["rule"])
+        if spec["name"].lower() not in self.sqlcm.rules:
+            spec = spec | {"fire_count": 0, "evaluation_count": 0}
+        self._restore_rule(spec)
+
+    def _replay_rule_remove(self, data: dict, t: float) -> None:
+        if data["name"].lower() in self.sqlcm.rules:
+            self.sqlcm.remove_rule(data["name"])
+
+    def _replay_rule_enable(self, data: dict, t: float) -> None:
+        rule = self.sqlcm.rules.get(data["name"].lower())
+        if rule is not None:
+            rule.enabled = data["enabled"]
+
+    def _replay_stream_register(self, data: dict, t: float) -> None:
+        streams = self.sqlcm.stream_engine()
+        if data["name"].lower() not in streams._queries:
+            streams.register(data["text"], name=data["name"],
+                             sink_lat=data["sink_lat"],
+                             max_alerts=data["max_alerts"],
+                             criticality=data["criticality"])
+
+    def _replay_stream_remove(self, data: dict, t: float) -> None:
+        streams = self.sqlcm._streams
+        if streams is not None and data["name"].lower() in streams._queries:
+            streams.remove(data["name"])
+
+    def _replay_stream_obs(self, data: dict, t: float) -> None:
+        streams = self.sqlcm._streams
+        if streams is None:
+            return
+        query = streams._queries.get(data["stream"].lower())
+        if query is None:
+            return
+        key = tuple(data["key"])
+        query.window.observe(key, list(data["values"]), data["time"])
+        if query.next_boundary is None:
+            query.next_boundary = (
+                query.spec.window.pane_index(data["time"]) + 1)
+        query.events_ingested += 1
+
+    def _replay_stream_flush(self, data: dict, t: float) -> None:
+        streams = self.sqlcm._streams
+        if streams is None:
+            return
+        streams.replaying = True
+        try:
+            streams.flush(data["time"])
+        finally:
+            streams.replaying = False
+
+    def _replay_counts(self, data: dict, t: float) -> None:
+        sqlcm = self.sqlcm
+        sqlcm.events_handled += 1
+        sqlcm.rule_firings += data["firings"]
+        sqlcm.rule_errors += data["errors"]
+        for name, evals, fires in data["rules"]:
+            rule = sqlcm.rules.get(name.lower())
+            if rule is not None:
+                rule.evaluation_count += evals
+                rule.fire_count += fires
+
+    def _replay_instance(self, data: dict, t: float) -> None:
+        counts = self.sqlcm._instance_counts
+        sig = bytes.fromhex(data["sig"])
+        counts[sig] = counts.get(sig, 0) + data["delta"]
+
+    def _replay_health(self, data: dict, t: float) -> None:
+        if data["ns"] == "stream":
+            registry = self.sqlcm.stream_engine().health
+        else:
+            registry = self.sqlcm.health
+        apply_health_image(registry, data["image"])
+
+    def _replay_incident(self, data: dict, t: float) -> None:
+        manager = self.sqlcm.incident_manager()
+        apply_incident_image(manager, data)
+
+    def _replay_governor(self, data: dict, t: float) -> None:
+        apply_governor_image(self.sqlcm, data)
+
+    def _replay_deadletter(self, data: dict, t: float) -> None:
+        self.sqlcm.dead_letters._entries.append(
+            dead_letter_from_image(data["entry"]))
+
+    def _replay_timer(self, data: dict, t: float) -> None:
+        self.pending_timers[data["name"].lower()] = (
+            data["name"], data["interval"], data["repeats"])
+
+    def _replay_history(self, data: dict, t: float) -> None:
+        if not self.apply_history:
+            return
+        sqlcm = self.sqlcm
+        manager = sqlcm._incidents
+        if manager is not None:
+            manager._ensure_history()
+        if sqlcm.server.catalog.has_table(data["table"]):
+            sqlcm.server.table(data["table"]).insert(
+                list(data["values"]) + [data["time"]])
+
+
+# ---------------------------------------------------------------------------
+# the durability manager
+# ---------------------------------------------------------------------------
+
+def _checkpoint_path(directory: str, generation: int) -> str:
+    return os.path.join(directory, f"checkpoint-{generation:04d}.ckpt")
+
+
+def _journal_path(directory: str, generation: int) -> str:
+    return os.path.join(directory, f"journal-{generation:04d}.wal")
+
+
+def _list_generations(directory: str) -> list[int]:
+    generations = []
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            if name.startswith("checkpoint-") and name.endswith(".ckpt"):
+                try:
+                    generations.append(int(name[len("checkpoint-"):-5]))
+                except ValueError:
+                    continue
+    return sorted(generations)
+
+
+class DurabilityManager:
+    """Owns one monitor's on-disk durability state.
+
+    ``attach()`` wires the journal hooks into every subsystem and takes
+    the initial checkpoint; ``checkpoint()`` publishes a new generation
+    atomically and rotates the journal; :func:`recover` (also exposed as
+    a static method) rebuilds a monitor from the newest valid generation.
+
+    ``target`` may be a serial :class:`SQLCM` or a
+    :class:`~repro.shard.sharded.ShardedSQLCM` — sharded journals merge
+    into the shared segment and recovery always rebuilds a serial
+    monitor (the digest proof in :mod:`repro.shard` guarantees equality).
+    """
+
+    def __init__(self, target, directory: str,
+                 checkpoint_interval: float | None = None):
+        self.target = target
+        self.directory = directory
+        self.checkpoint_interval = checkpoint_interval
+        self.sharded = hasattr(target, "shards")
+        self.control = target.shards[0].sqlcm if self.sharded else target
+        if self.sharded:
+            shards = target.shards
+            self.journal = Journal(
+                self.control,
+                dispatching=lambda: any(s.sqlcm._dispatching
+                                        for s in shards))
+        else:
+            self.journal = Journal(target)
+        existing = _list_generations(directory)
+        self.generation = existing[-1] if existing else 0
+        self.last_checkpoint_at: float | None = None
+        self.checkpoints_taken = 0
+        self.attached = False
+
+    @property
+    def clock(self):
+        return self.control.server.clock
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self) -> "DurabilityManager":
+        """Install journal hooks on every subsystem, then checkpoint."""
+        os.makedirs(self.directory, exist_ok=True)
+        journal = self.journal
+        monitors = ([shard.sqlcm for shard in self.target.shards]
+                    if self.sharded else [self.target])
+        for sqlcm in monitors:
+            sqlcm.journal = journal
+            for lat in sqlcm.lats():
+                lat.journal = journal
+        if not self.sharded:
+            sqlcm = self.target
+            sqlcm.health.journal_hook = (
+                lambda health: journal.health_changed("engine", health))
+            if sqlcm._streams is not None:
+                journal.attach_stream_health(sqlcm._streams)
+            sqlcm.dead_letters.journal_hook = journal.dead_lettered
+        self.attached = True
+        self.checkpoint()
+        return self
+
+    def detach(self) -> None:
+        """Remove every journal hook and close the journal file."""
+        monitors = ([shard.sqlcm for shard in self.target.shards]
+                    if self.sharded else [self.target])
+        for sqlcm in monitors:
+            sqlcm.journal = None
+            for lat in sqlcm.lats():
+                lat.journal = None
+            sqlcm.health.journal_hook = None
+            if sqlcm._streams is not None:
+                sqlcm._streams.health.journal_hook = None
+            sqlcm.dead_letters.journal_hook = None
+        self.journal.close()
+        self.attached = False
+
+    close = detach
+
+    # -- checkpointing ---------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Write a new checkpoint generation atomically; rotate the journal.
+
+        Protocol: render the full state, consult the
+        ``durability.checkpoint`` fault site (an *exception* fault models
+        a crash before the rename — the temp file never becomes visible;
+        a *partial* fault models a torn write that does become visible —
+        recovery CRC-rejects it and falls back a generation), publish via
+        ``os.replace``, and only then start the new journal segment and
+        prune generations older than the previous one.
+        """
+        if self.control._dispatching:
+            raise DurabilityError("cannot checkpoint mid-dispatch")
+        generation = self.generation + 1
+        sections = (build_sections_sharded(self.target) if self.sharded
+                    else build_sections(self.target))
+        content = render_checkpoint(sections)
+        partial: FaultInjected | None = None
+        try:
+            self.control.check_fault("durability.checkpoint")
+        except FaultInjected as err:
+            if err.mode != "partial":
+                raise  # crash mid-checkpoint: nothing became visible
+            partial = err
+            content = content[: max(1, int(len(content) * 0.6))]
+        path = _checkpoint_path(self.directory, generation)
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        os.replace(temp, path)
+        if partial is not None:
+            # the torn checkpoint landed, but the journal of the previous
+            # generation was never rotated away — recovery falls back to it
+            raise partial
+        self.generation = generation
+        self.journal.rotate(_journal_path(self.directory, generation))
+        self._prune()
+        self.last_checkpoint_at = self.clock.now
+        self.checkpoints_taken += 1
+        return path
+
+    def maybe_checkpoint(self, now: float | None = None) -> str | None:
+        """Checkpoint when the configured interval has elapsed."""
+        if self.checkpoint_interval is None or not self.attached:
+            return None
+        if self.control._dispatching:
+            return None
+        now = self.clock.now if now is None else now
+        last = self.last_checkpoint_at
+        if last is not None and now - last < self.checkpoint_interval:
+            return None
+        return self.checkpoint()
+
+    def _prune(self) -> None:
+        """Keep the current and previous generations; drop older files."""
+        for generation in _list_generations(self.directory):
+            if generation <= self.generation - 2:
+                for path in (_checkpoint_path(self.directory, generation),
+                             _journal_path(self.directory, generation)):
+                    if os.path.exists(path):
+                        os.remove(path)
+
+    def describe(self) -> dict:
+        return {
+            "directory": self.directory,
+            "generation": self.generation,
+            "checkpoints_taken": self.checkpoints_taken,
+            "last_checkpoint_at": self.last_checkpoint_at,
+            "checkpoint_interval": self.checkpoint_interval,
+            "journal_records": self.journal.records_written,
+            "journal_dead": self.journal.dead,
+            "sharded": self.sharded,
+        }
+
+    # -- recovery --------------------------------------------------------
+
+    @staticmethod
+    def recover(directory: str, *, server=None, driver=None,
+                setup: Callable[[SQLCM], None] | None = None,
+                sqlcm: SQLCM | None = None) -> RecoveryReport:
+        """Rebuild a serial monitor from the newest valid generation.
+
+        Tries checkpoint generations newest-first; a generation whose
+        checkpoint fails CRC verification (torn write) is skipped in
+        favor of the previous one, whose journal kept growing because
+        rotation only happens after a successful checkpoint publish.
+
+        ``setup`` runs against the fresh monitor before any state is
+        applied — it is the hook for re-registering components whose
+        rules carry live callbacks (AutoRemediator, app rule packs);
+        rules that cannot be rebuilt and were not pre-registered are
+        listed in ``RecoveryReport.placeholder_rules``.
+        """
+        generations = _list_generations(directory)
+        if not generations:
+            raise DurabilityError(f"no checkpoint found in {directory!r}")
+        chosen = None
+        sections = None
+        for generation in reversed(generations):
+            path = _checkpoint_path(directory, generation)
+            try:
+                sections = parse_checkpoint(path)
+            except (DurabilityError, OSError):
+                continue
+            chosen = generation
+            break
+        if chosen is None or sections is None:
+            raise DurabilityError(
+                f"no valid checkpoint generation in {directory!r}")
+        if sqlcm is None:
+            sqlcm = SQLCM(server, driver=driver)
+        if setup is not None:
+            setup(sqlcm)
+        journal_path = _journal_path(directory, chosen)
+        report = RecoveryReport(
+            sqlcm=sqlcm, generation=chosen,
+            checkpoint_path=_checkpoint_path(directory, chosen),
+            journal_path=journal_path)
+        restorer = _Restorer(sqlcm, report)
+        restorer.load_checkpoint(sections)
+        records, discarded = read_journal(journal_path)
+        report.records_discarded = discarded
+        restorer.replay(records)
+        restorer.finish()
+        return report
+
+
+# ---------------------------------------------------------------------------
+# kill-and-rebuild harness
+# ---------------------------------------------------------------------------
+
+class DigestTap:
+    """Records ``(virtual time, digest)`` at every committed journal append.
+
+    The last point is the state a correct recovery must reproduce: a
+    crash can only lose the uncommitted tail, so the recovered monitor's
+    digest must equal the digest at the last commit marker the disk saw.
+    """
+
+    def __init__(self, manager: DurabilityManager,
+                 digest_fn: Callable[[], int] | None = None):
+        self._fn = digest_fn or manager.target.state_digest
+        self._clock = manager.clock
+        self.points: list[tuple[float, int]] = []
+        self._capture()  # the post-attach checkpoint state is point zero
+        manager.journal.on_commit.append(self._capture)
+
+    def _capture(self) -> None:
+        self.points.append((self._clock.now, self._fn()))
+
+    @property
+    def last(self) -> tuple[float, int]:
+        return self.points[-1]
+
+
+def verify_recovery(directory: str, tap: DigestTap, *, server=None,
+                    setup: Callable[[SQLCM], None] | None = None
+                    ) -> RecoveryReport:
+    """Recover from ``directory`` and assert digest equality with ``tap``.
+
+    Raises :class:`DurabilityError` on mismatch; returns the report on
+    success.  The recovered monitor's clock is advanced to the capture
+    time first (aging aggregates and integrity signatures read the
+    clock).
+    """
+    report = DurabilityManager.recover(directory, server=server, setup=setup)
+    target_time, expected = tap.last
+    report.sqlcm.server.clock.advance_to(target_time)
+    actual = report.sqlcm.state_digest()
+    if actual != expected:
+        raise DurabilityError(
+            f"recovered digest 0x{actual:08x} != pre-crash digest "
+            f"0x{expected:08x} (generation {report.generation}, "
+            f"{report.records_replayed} records replayed, "
+            f"{report.records_discarded} discarded)")
+    return report

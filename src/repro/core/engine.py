@@ -115,6 +115,9 @@ class SQLCM:
         self.dead_letters = DeadLetterJournal()
         self.faults = faults
         self.rule_errors = 0
+        # durability journal (set by DurabilityManager.attach); mutations
+        # append logical redo records after they complete
+        self.journal = None
         # the continuous stream-query subsystem is created lazily (pay only
         # for what you monitor); see stream_engine()
         self._streams = None
@@ -142,6 +145,9 @@ class SQLCM:
         lat = structure(definition, self.server.clock)
         self._lats[key] = lat
         self.invalidate_signature_cache()
+        if self.journal is not None:
+            lat.journal = self.journal
+            self.journal.lat_created(definition)
         return lat
 
     def drop_lat(self, name: str) -> None:
@@ -164,6 +170,8 @@ class SQLCM:
                     )
         del self._lats[key]
         self.invalidate_signature_cache()
+        if self.journal is not None:
+            self.journal.lat_dropped(name)
 
     def lat(self, name: str) -> LAT:
         try:
@@ -201,6 +209,8 @@ class SQLCM:
         self._rule_order.append(rule)
         self._rules_by_event.setdefault(event_def.engine_event, []).append(rule)
         self.invalidate_signature_cache()
+        if self.journal is not None:
+            self.journal.rule_added(rule)
         return rule
 
     def remove_rule(self, name: str) -> None:
@@ -221,6 +231,8 @@ class SQLCM:
         if self.governor is not None:
             self.governor.forget_rule(rule.name)
         self.invalidate_signature_cache()
+        if self.journal is not None:
+            self.journal.rule_removed(rule.name)
 
     def enable_rule(self, name: str, enabled: bool = True) -> None:
         rule = self.rules.get(name.lower())
@@ -232,6 +244,8 @@ class SQLCM:
                 f"({self.health.health_of(name).quarantine_reason}); "
                 f"call release_quarantine first")
         rule.enabled = enabled
+        if self.journal is not None:
+            self.journal.rule_enabled(rule.name, enabled)
 
     # ------------------------------------------------------------------
     # fault isolation: health, quarantine, fault injection
@@ -301,6 +315,32 @@ class SQLCM:
             self.sample_weight = 1
 
     # ------------------------------------------------------------------
+    # supervised restart teardown
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unhook this monitor from its host server entirely.
+
+        Supervised restart (see :mod:`repro.service`) tears the crashed
+        monitor down with this before rebuilding a replacement from the
+        durability directory: bus subscriptions, stream/incident
+        listeners, the governor, and pending timers all come off so the
+        old instance can no longer observe (or charge) the host.
+        Idempotent."""
+        if self.bus_subscribed:
+            bus = self.server.events
+            for event in self.SUBSCRIBED_EVENTS:
+                bus.unsubscribe(event, self._on_engine_event)
+            bus.unsubscribe("query.compile", self._on_compile)
+            self.bus_subscribed = False
+        if self._streams is not None:
+            self._streams.detach()
+        if self._incidents is not None:
+            self._incidents.detach()
+        self.disable_governor()
+        self.timer_service.shutdown()
+
+    # ------------------------------------------------------------------
     # continuous stream queries
     # ------------------------------------------------------------------
 
@@ -315,6 +355,8 @@ class SQLCM:
         if self._streams is None:
             from repro.stream import StreamEngine
             self._streams = StreamEngine(self)
+            if self.journal is not None:
+                self.journal.attach_stream_health(self._streams)
         return self._streams
 
     @property
@@ -466,6 +508,9 @@ class SQLCM:
             if qctx.logical_signature is not None:
                 self._instance_counts[qctx.logical_signature] = \
                     self._instance_counts.get(qctx.logical_signature, 0) + 1
+                if self.journal is not None:
+                    self.journal.append("instance", {
+                        "sig": qctx.logical_signature.hex(), "delta": 1})
         self.dispatch_event(event, payload)
 
     def dispatch_event(self, event: str, payload: dict) -> None:
@@ -518,6 +563,12 @@ class SQLCM:
         if not rules:
             return
         self.events_handled += 1
+        journal = self.journal
+        if journal is not None:
+            snapshot = [(r, r.evaluation_count, r.fire_count)
+                        for r in rules]
+            firings_before = self.rule_firings
+            errors_before = self.rule_errors
         obs = self.server.obs
         if obs.enabled:
             cost_before = self.server.monitor_cost_total
@@ -529,6 +580,20 @@ class SQLCM:
                             self.server.monitor_cost_total - cost_before)
         else:
             self._dispatch_rules(event, payload, rules, obs)
+        if journal is not None:
+            # the per-event counter record doubles as this event group's
+            # commit marker: everything journaled during the dispatch is
+            # uncommitted until this lands (a crash mid-event loses the
+            # whole group, never half of one)
+            journal.append("counts", {
+                "rules": [(r.name, r.evaluation_count - evals,
+                           r.fire_count - fires)
+                          for r, evals, fires in snapshot
+                          if r.evaluation_count != evals
+                          or r.fire_count != fires],
+                "firings": self.rule_firings - firings_before,
+                "errors": self.rule_errors - errors_before,
+            }, commit=True)
 
     def _dispatch_rules(self, event: str, payload: dict, rules: list,
                         obs) -> None:
@@ -1004,13 +1069,14 @@ class SQLCM:
         restore their values; STDEV re-seeds from AVG/COUNT (spread within
         the restored window is lost).  Returns restored row count.
 
-        When the table carries checksum metadata (every table written by
-        :meth:`persist_lat`), rows are validated *before* any seeding; a
-        checksum mismatch — a torn write from a crash mid-persist — resets
-        the LAT and raises :class:`PersistCorruptionError`, degrading to
-        "rebuild from scratch" rather than silently restoring corrupt
-        aggregates.  Tables without the checksum column (written by older
-        code or by hand) restore unvalidated.
+        The restore is atomic: rows are validated and decoded into a
+        scratch copy of the LAT, which replaces the live one only when
+        every row seeded cleanly.  A checksum mismatch — a torn write
+        from a crash mid-persist — raises
+        :class:`PersistCorruptionError` and leaves the in-memory LAT
+        exactly as it was (no half-filled state), as does any row-decode
+        failure mid-seed.  Tables without the checksum column (written by
+        older code or by hand) restore unvalidated but still atomically.
         """
         lat = self.lat(lat_name)
         with self.server.obs.attrib("lat", lat_name), \
@@ -1029,17 +1095,30 @@ class SQLCM:
                 self.server.add_monitor_cost(
                     self.server.costs.persist_checksum_per_row)
                 if row_checksum(row[:crc_index]) != row[crc_index]:
-                    lat.reset()
                     raise PersistCorruptionError(
                         f"checksum mismatch restoring LAT "
                         f"{lat.definition.name!r} from {table_name!r}: "
-                        f"partial write detected; rebuild from scratch")
+                        f"partial write detected; in-memory LAT unchanged")
+        # seed into a scratch copy; swap in only if every row decodes —
+        # an error mid-seed must not leave the live LAT half-restored
+        scratch = lat.scratch_copy()
         restored = 0
+        seeded: list[dict] = []
         for row in rows:
             values = dict(zip(columns, row))
             values.pop(CHECKSUM_COLUMN, None)
-            lat.seed_row(values)
+            scratch.seed_row(values)
+            seeded.append(values)
             restored += 1
+        lat.adopt(scratch)
+        if lat.journal is not None:
+            now = self.server.clock.now
+            for values in seeded:
+                lat.journal.append("lat_seed", {
+                    "lat": lat.definition.name,
+                    "values": values,
+                    "time": now,
+                })
         return restored
 
 

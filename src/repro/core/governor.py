@@ -463,6 +463,8 @@ class OverloadGovernor:
             suspended=tuple(sorted(
                 f"{kind}:{name}" for kind, name in self.suspended)))
         self.transitions.append(record)
+        if self.sqlcm.journal is not None:
+            self.sqlcm.journal.governor_changed(self)
         self._publish(record)
 
     def _apply_state(self, state: str, measured: float | None = None) -> None:

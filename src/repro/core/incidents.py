@@ -178,11 +178,20 @@ class IncidentManager:
         #: carries.  Listener errors are isolated, never propagated.
         self._listeners: list = []
         self._history_ready = False
+        self._alert_subscribed = False
         if self.policy.alert_to_incident or self.policy.history:
             self.server.events.subscribe("sqlcm.stream_alert",
                                          self._on_stream_alert)
+            self._alert_subscribed = True
         if self.policy.sweep_interval > 0:
             self._install_sweeper()
+
+    def detach(self) -> None:
+        """Unsubscribe from the host bus (supervised restart teardown)."""
+        if self._alert_subscribed:
+            self.server.events.unsubscribe("sqlcm.stream_alert",
+                                           self._on_stream_alert)
+            self._alert_subscribed = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -206,6 +215,7 @@ class IncidentManager:
             incident.occurrences += 1
             incident.last_seen = now
             self.deduplicated += 1
+            self._journal_incident(incident)
             return incident
         self.server.add_monitor_cost(costs.incident_open)
         incident = Incident(
@@ -422,6 +432,14 @@ class IncidentManager:
                   detail: str = "") -> None:
         incident.timeline.append(
             (self.server.clock.now, phase, detail))
+        # every lifecycle phase (and every remediation attempt — see
+        # record_remediation) ends in a timeline entry, so this is the
+        # one durable-image hook that covers them all
+        self._journal_incident(incident)
+
+    def _journal_incident(self, incident: Incident) -> None:
+        if self.sqlcm.journal is not None:
+            self.sqlcm.journal.incident_changed(self, incident)
 
     def add_listener(self, listener) -> None:
         """Register a callable fired on every incident lifecycle
@@ -497,6 +515,10 @@ class IncidentManager:
                             "action", "target", "outcome", "detail")
     _ALERT_COLUMNS = ("stream", "kind", "group_key", "column_name", "value")
 
+    def history_tables(self) -> tuple[str, str, str]:
+        """Engine table names the history feature persists into."""
+        return (INCIDENT_TABLE, REMEDIATION_TABLE, ALERT_TABLE)
+
     def _ensure_history(self) -> bool:
         if not self.policy.history:
             return False
@@ -522,7 +544,11 @@ class IncidentManager:
     def _history_row(self, table_name: str, values: list) -> None:
         self.server.add_monitor_cost(self.server.costs.persist_row)
         table = self.server.table(table_name)
-        table.insert(values + [self.server.clock.now])
+        now = self.server.clock.now
+        table.insert(values + [now])
+        if self.sqlcm.journal is not None:
+            self.sqlcm.journal.append("history", {
+                "table": table_name, "values": values, "time": now})
 
     def _history_incident(self, incident: Incident, phase: str) -> None:
         if not self._ensure_history():

@@ -178,6 +178,10 @@ _AGING_BLOCK_BYTES = 32
 class LAT:
     """The default LAT structure: hash on group key, importance-scan eviction."""
 
+    # durability journal (set by DurabilityManager.attach / create_lat);
+    # mutations append redo records after they complete
+    journal = None
+
     def __init__(self, definition: LATDefinition, clock):
         self.definition = definition
         self._clock = clock
@@ -229,17 +233,21 @@ class LAT:
         return None
 
     def insert(self, source: "MonitoredObject | dict",
-               weight: int = 1) -> list[dict]:
+               weight: int = 1, now: float | None = None) -> list[dict]:
         """Insert-or-update the row matching the object's group key.
 
         ``weight`` > 1 means this object stands in for ``weight`` sampled
         events (overload-governor compensation): COUNT/SUM/AVG scale the
         contribution; order/extreme aggregates apply the value once.
 
+        ``now`` overrides the clock time (journal replay re-applies
+        inserts at their original timestamps).
+
         Returns the rows evicted to satisfy the size constraint (possibly
         including the row just inserted), as column dicts.
         """
-        now = self._clock.now
+        if now is None:
+            now = self._clock.now
         key = self.key_of(source)
         row = self._rows.get(key)
         # latches: the hash entry, the row, and the structure as a whole
@@ -268,7 +276,16 @@ class LAT:
         row.importance = None  # aggregates changed; importance is stale
         self.insert_count += 1
         self.peak_rows = max(self.peak_rows, len(self._rows))
-        return self._enforce_limits(now)
+        evicted = self._enforce_limits(now)
+        if self.journal is not None:
+            self.journal.append("lat_insert", {
+                "lat": self.definition.name,
+                "values": {attr: self._value(source, attr)
+                           for attr in self.definition.source_attributes()},
+                "weight": weight,
+                "time": now,
+            })
+        return evicted
 
     def _enforce_limits(self, now: float) -> list[dict]:
         evicted: list[dict] = []
@@ -364,13 +381,20 @@ class LAT:
         """Clear all content and free memory (the Reset action)."""
         self._rows.clear()
         self.latch_acquisitions += 1
+        if self.journal is not None:
+            self.journal.append("lat_reset", {"lat": self.definition.name})
 
     def delete_row(self, key: tuple) -> bool:
         """Remove one group's row (e.g. to re-arm a threshold rule)."""
         self.latch_acquisitions += 2
-        return self._rows.pop(tuple(key), None) is not None
+        removed = self._rows.pop(tuple(key), None) is not None
+        if removed and self.journal is not None:
+            self.journal.append("lat_del", {"lat": self.definition.name,
+                                            "key": tuple(key)})
+        return removed
 
-    def seed_row(self, persisted: dict[str, Any]) -> None:
+    def seed_row(self, persisted: dict[str, Any],
+                 now: float | None = None) -> None:
         """Reconstruct one row from persisted column values (LAT restore).
 
         COUNT/SUM/MIN/MAX/FIRST/LAST restore exactly; AVG restores exactly
@@ -390,7 +414,8 @@ class LAT:
                     count_hint = int(value)
                 break
         states: list = []
-        now = self._clock.now
+        if now is None:
+            now = self._clock.now
         for spec, func in zip(self.definition.aggregations, self._functions):
             value = lowered.get(spec.column.lower())
             state = self._seed_state(spec.func, func, value, count_hint)
@@ -408,6 +433,12 @@ class LAT:
         self._rows[key] = row
         self.seed_count += 1
         self._enforce_limits(now)
+        if self.journal is not None:
+            self.journal.append("lat_seed", {
+                "lat": self.definition.name,
+                "values": dict(persisted),
+                "time": now,
+            })
 
     @staticmethod
     def _seed_state(func_name: str, func: AggregateFunction, value: Any,
@@ -426,6 +457,39 @@ class LAT:
             # value is treated as the mean proxy; spread (M2) is lost
             return (count, value, 0.0)
         return func.update(func.new_state(), value)  # pragma: no cover
+
+    def scratch_copy(self) -> "LAT":
+        """A detached copy of this LAT for atomic multi-row operations.
+
+        The copy shares the definition and clock but owns deep copies of
+        the rows (aging states are mutable) and never journals; mutate it
+        freely, then :meth:`adopt` it back on success — an error midway
+        leaves the live LAT untouched.
+        """
+        scratch = type(self)(self.definition, self._clock)
+        for key, row in self._rows.items():
+            states = [
+                state.copy() if isinstance(state, AgingState) else state
+                for state in row.states
+            ]
+            scratch._rows[key] = _Row(key, states, row.seq)
+        scratch._seq = self._seq
+        scratch.insert_count = self.insert_count
+        scratch.eviction_count = self.eviction_count
+        scratch.latch_acquisitions = self.latch_acquisitions
+        scratch.peak_rows = self.peak_rows
+        scratch.seed_count = self.seed_count
+        return scratch
+
+    def adopt(self, scratch: "LAT") -> None:
+        """Swap in a scratch copy's state (the commit of an atomic restore)."""
+        self._rows = scratch._rows
+        self._seq = scratch._seq
+        self.insert_count = scratch.insert_count
+        self.eviction_count = scratch.eviction_count
+        self.latch_acquisitions = scratch.latch_acquisitions + 1
+        self.peak_rows = max(self.peak_rows, scratch.peak_rows)
+        self.seed_count = scratch.seed_count
 
     def merge_from(self, other: "LAT") -> list[dict]:
         """Merge another partition of the same LAT definition into this one.
@@ -547,12 +611,13 @@ class NaiveListLAT(LAT):
     benchmark to show why the structure matters.
     """
 
-    def insert(self, source, weight: int = 1) -> list[dict]:
+    def insert(self, source, weight: int = 1,
+               now: float | None = None) -> list[dict]:
         key = self.key_of(source)
         for candidate in list(self._rows):  # linear membership probe
             if candidate == key:
                 break
-        evicted = super().insert(source, weight)
+        evicted = super().insert(source, weight, now)
         # full re-sort after every insert (the naive ordered structure)
         now = self._clock.now
         sorted(self._rows.values(),

@@ -50,6 +50,8 @@ FAULT_SITES = (
     "lat.evict",     # LAT eviction event delivery
     "lat.persist",   # Persist writes of LAT rows / objects
     "timer",         # timer alert firing
+    "durability.checkpoint",  # crash mid-checkpoint (partial = torn file)
+    "durability.append",      # crash mid-journal-append (partial = torn tail)
 )
 
 _registered_sites: set[str] = set(FAULT_SITES)
@@ -132,9 +134,17 @@ class RuleHealth:
 class RuleHealthRegistry:
     """All rules' health records plus the quarantine state machine."""
 
+    # durability hook (set by DurabilityManager.attach): called with the
+    # RuleHealth record after every durable state change
+    journal_hook = None
+
     def __init__(self, policy: QuarantinePolicy | None = None):
         self.policy = policy or QuarantinePolicy()
         self._health: dict[str, RuleHealth] = {}
+
+    def _notify(self, health: RuleHealth) -> None:
+        if self.journal_hook is not None:
+            self.journal_hook(health)
 
     def health_of(self, name: str) -> RuleHealth:
         key = name.lower()
@@ -187,6 +197,7 @@ class RuleHealthRegistry:
             # the reactivation probe failed: straight back to quarantine
             self._quarantine(health, now, "reactivation probe failed: "
                              + health.last_error)
+            self._notify(health)
             return health, True
         failures = health.recent_failures
         failures.append(now)
@@ -198,7 +209,9 @@ class RuleHealthRegistry:
                 health, now,
                 f"{len(failures)} failures within "
                 f"{self.policy.window:g}s: {health.last_error}")
+            self._notify(health)
             return health, True
+        self._notify(health)
         return health, False
 
     def record_success(self, name: str) -> None:
@@ -209,6 +222,7 @@ class RuleHealthRegistry:
             health.quarantine_reason = None
             health.reactivate_at = None
             health.recent_failures.clear()
+            self._notify(health)
 
     def quarantine(self, name: str, now: float, reason: str) -> None:
         """Force a rule into quarantine (remediation / DBA override).
@@ -217,7 +231,9 @@ class RuleHealthRegistry:
         the evaluation path, gets a reactivation probe after the cooldown,
         and its cooldown escalates across repeated quarantines.
         """
-        self._quarantine(self.health_of(name), now, reason)
+        health = self.health_of(name)
+        self._quarantine(health, now, reason)
+        self._notify(health)
 
     def release(self, name: str) -> None:
         """Manually clear a quarantine (DBA override)."""
@@ -229,6 +245,7 @@ class RuleHealthRegistry:
         health.quarantine_reason = None
         health.reactivate_at = None
         health.recent_failures.clear()
+        self._notify(health)
 
     def _quarantine(self, health: RuleHealth, now: float,
                     reason: str) -> None:
@@ -304,6 +321,10 @@ class DeadLetterJournal:
     :attr:`dropped`) rather than letting the journal grow without limit.
     """
 
+    # durability hook (set by DurabilityManager.attach): called with each
+    # appended DeadLetter so the entry survives a monitor crash
+    journal_hook = None
+
     def __init__(self, capacity: int = 256):
         if capacity < 1:
             raise ValueError("dead-letter capacity must be positive")
@@ -320,6 +341,8 @@ class DeadLetterJournal:
             del self._entries[:overflow]
             self.dropped += overflow
         self._entries.append(entry)
+        if self.journal_hook is not None:
+            self.journal_hook(entry)
 
     def entries(self, rule: str | None = None) -> list[DeadLetter]:
         if rule is None:

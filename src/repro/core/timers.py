@@ -60,7 +60,18 @@ class TimerService:
             self._sqlcm.server.scheduler.spawn(
                 f"timer-{name}", self._timer_process(timer, timer.generation)
             )
+        if self._sqlcm.journal is not None:
+            self._sqlcm.journal.append("timer", {
+                "name": name, "interval": timer.interval,
+                "repeats": timer.remaining})
         return timer
+
+    def shutdown(self) -> None:
+        """Disarm every timer: running processes see the generation bump
+        (or remaining == 0) and exit at their next wakeup."""
+        for timer in self._timers.values():
+            timer.generation += 1
+            timer.remaining = 0
 
     def _timer_process(self, timer: TimerObject,
                        generation: int) -> Iterator:

@@ -130,8 +130,9 @@ class FaultInjected(SQLCMError):
     """A deterministic fault raised by the :class:`FaultInjector` harness.
 
     ``site`` names the injection point (``condition``, ``action``, ``sink``,
-    ``lat.insert``, ``lat.evict``, ``lat.persist``, ``timer``); ``mode`` is
-    the configured failure mode (``exception`` or ``partial``).
+    ``lat.insert``, ``lat.evict``, ``lat.persist``, ``timer``,
+    ``durability.checkpoint``, ``durability.append``); ``mode`` is the
+    configured failure mode (``exception`` or ``partial``).
     """
 
     def __init__(self, site: str, mode: str = "exception"):
@@ -152,9 +153,16 @@ class ChaosError(SQLCMError):
 class PersistCorruptionError(SQLCMError):
     """A persisted LAT table failed checksum validation during restore.
 
-    The restoring LAT is left empty so the caller rebuilds aggregates from
-    scratch instead of silently continuing from corrupt state.
+    The restore is atomic: rows are decoded into a scratch LAT and swapped
+    in only on success, so the in-memory LAT is left exactly as it was
+    before the failed restore (no half-filled state).
     """
+
+
+class DurabilityError(SQLCMError):
+    """Invalid durability-layer operation or unrecoverable on-disk state
+    (no valid checkpoint generation, checkpoint taken mid-dispatch,
+    recovered digest mismatch in the crash harness)."""
 
 
 class DriverError(ReproError):

@@ -62,6 +62,7 @@ E_DENIED = "denied"              # authenticated but not authorized (admin)
 E_BAD_REQUEST = "bad_request"    # malformed payload for a known op
 E_UNSUPPORTED = "unsupported"    # unknown op
 E_OVERLOADED = "overloaded"     # governed admission shed this request
+E_RECOVERING = "recovering"      # monitor is rebuilding from its checkpoint
 E_SQL = "sql_error"              # the statement failed in the engine
 E_INTERNAL = "internal_error"    # unexpected server-side failure
 

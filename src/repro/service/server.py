@@ -48,7 +48,8 @@ from repro.errors import (ActionError, EngineError, IncidentError, LATError,
 from repro.service import endpoints
 from repro.service.protocol import (E_AUTH, E_BAD_REQUEST, E_DENIED,
                                     E_INTERNAL, E_OVERLOADED, E_PARSE,
-                                    E_PROTOCOL, E_SQL, E_UNSUPPORTED,
+                                    E_PROTOCOL, E_RECOVERING, E_SQL,
+                                    E_UNSUPPORTED,
                                     MAX_FRAME_BYTES, PROTOCOL_VERSION,
                                     SERVER_NAME, TOPICS, Push, Request,
                                     Response, decode_frame, encode_frame,
@@ -72,6 +73,13 @@ class ServiceConfig:
     queue_timeout: float = 1.0        # virtual seconds a queued request waits
     admin_users: tuple = ("admin",)   # users allowed to cancel other queries
     default_criticality: str = NORMAL
+    # virtual seconds a connection may sit idle before the service reaps
+    # it (None = never); any request — a 'ping' heartbeat is the cheapest
+    # — refreshes the deadline
+    idle_timeout: float | None = None
+    # virtual seconds between automatic durability checkpoints (used only
+    # when the service runs with a durability directory)
+    checkpoint_interval: float = 30.0
 
 
 @dataclass
@@ -106,6 +114,8 @@ class ClientConnection:
         self.outbox: list[Push] = []
         self.closed_wire = False      # reader saw EOF / socket error
         self.closing = False          # waiting for in-flight proc to settle
+        # virtual time of the last request (idle-timeout bookkeeping)
+        self.last_active = service.db.clock.now
 
     def send_frame(self, frame: dict) -> None:
         if self.closed_wire:
@@ -125,7 +135,7 @@ class MonitorService:
     def __init__(self, db: DatabaseServer | None = None,
                  sqlcm: SQLCM | None = None,
                  config: ServiceConfig | None = None,
-                 driver=None):
+                 driver=None, durable_dir: str | None = None):
         self.config = config or ServiceConfig()
         if driver is not None:
             db = driver.host
@@ -149,13 +159,31 @@ class MonitorService:
         self._running = False
         self._incident_listener_attached = False
         self.port: int | None = None
+        # supervised-restart state: "running" | "recovering"; the pump
+        # walks _restart_stage 1 (detach) -> 2 (recover) between ticks
+        self.state = "running"
+        self.restarts = 0
+        self._restart_stage = 0
+        self.last_recovery = None
+        # optional callable(sqlcm) run on the rebuilt monitor before the
+        # checkpoint is restored (re-registers callback-based components)
+        self.recovery_setup = None
+        self.durable_dir = durable_dir
+        self.durability = None
         # service-tier counters (the status endpoint reports these)
         self.connections_total = 0
         self.requests_total = 0
         self.requests_shed = 0
         self.requests_queued_total = 0
         self.pushes_sent = 0
+        self.connections_reaped = 0
         self.db.events.subscribe("sqlcm.stream_alert", self._on_stream_alert)
+        if durable_dir is not None:
+            from repro.core.durability import DurabilityManager
+            self.durability = DurabilityManager(
+                self.sqlcm, durable_dir,
+                checkpoint_interval=self.config.checkpoint_interval)
+            self.durability.attach()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -190,6 +218,8 @@ class MonitorService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.durability is not None:
+            self.durability.detach()
         # let connection-handler tasks observe their closed transports
         await asyncio.sleep(0)
         await asyncio.sleep(0)
@@ -207,8 +237,11 @@ class MonitorService:
             "server": SERVER_NAME,
             "protocol_version": PROTOCOL_VERSION,
             "driver": self.driver.name,
+            "state": self.state,
+            "restarts": self.restarts,
             "connections": len(self._connections),
             "connections_total": self.connections_total,
+            "connections_reaped": self.connections_reaped,
             "requests_total": self.requests_total,
             "requests_shed": self.requests_shed,
             "requests_queued": len(self._queue),
@@ -221,9 +254,63 @@ class MonitorService:
 
     async def _pump(self) -> None:
         while self._running:
+            if self._restart_stage:
+                self._restart_step()
             self._advance()
             self._settle()
             await asyncio.sleep(self.config.pump_interval)
+
+    # -- supervised restart ------------------------------------------------
+
+    def request_restart(self) -> None:
+        """Ask the pump to rebuild the monitor from its durability
+        directory without dropping the TCP listener.
+
+        Thread-safe (a bare attribute store); requires the service to
+        have been started with a durability directory.  Clients keep
+        their sockets and subscriptions: requests arriving while the
+        monitor rebuilds are refused with the ``recovering`` code, and
+        pushes resume once the rebuilt monitor reattaches.
+        """
+        if self.durable_dir is None:
+            raise ServiceError("service has no durability directory",
+                               code=E_BAD_REQUEST)
+        if self._restart_stage == 0:
+            self._restart_stage = 1
+
+    def _restart_step(self) -> None:
+        if self._restart_stage == 1:
+            # tick 1: take the old monitor off the bus.  The engine, its
+            # sessions, and every client socket stay up; only the
+            # monitoring brain goes away — exactly what a monitor-process
+            # crash leaves behind.
+            self.state = "recovering"
+            if self.durability is not None:
+                self.durability.detach()
+                self.durability = None
+            self.sqlcm.detach()
+            self._incident_listener_attached = False
+            self._restart_stage = 2
+            return
+        # tick 2: rebuild from the latest checkpoint + journal, reattach
+        # durability (which starts a fresh generation), and resume.
+        from repro.core.durability import DurabilityManager
+        report = DurabilityManager.recover(
+            self.durable_dir, driver=self.driver,
+            setup=self.recovery_setup)
+        self.last_recovery = report
+        self.sqlcm = report.sqlcm
+        self.durability = DurabilityManager(
+            self.sqlcm, self.durable_dir,
+            checkpoint_interval=self.config.checkpoint_interval)
+        self.durability.attach()
+        # re-arm pushes: subscriptions live on the connections, but the
+        # incident listener points at the dead manager
+        if any("incident" in conn.topics for conn in self._connections):
+            self._ensure_incident_listener()
+        self._restart_stage = 0
+        self.restarts += 1
+        self.state = "running"
 
     def _advance(self) -> None:
         """Advance the engine by one tick of virtual time.
@@ -246,16 +333,46 @@ class MonitorService:
                 pass
             if clock.now < target:
                 clock.advance_to(target)
+        if self.state == "recovering":
+            return  # the monitor is mid-rebuild; only time passes
         if self.sqlcm.has_streams:
             # window boundaries are normally flushed by the event path;
             # during idle ticks the pump drains them so subscribed
             # clients still see alerts for windows that closed in quiet
             self.sqlcm.stream_engine().flush()
+        if self.durability is not None:
+            self.durability.maybe_checkpoint(clock.now)
 
     def _settle(self) -> None:
         self._settle_statements()
         self._settle_queue()
+        self._reap_idle()
         self._flush_pushes()
+
+    def _reap_idle(self) -> None:
+        """Close connections idle past ``config.idle_timeout``.
+
+        Virtual seconds, like every other deadline in the service; a
+        ``ping`` heartbeat (or any request) refreshes the clock.  A
+        reaped connection goes through the same teardown as a vanished
+        client: an in-flight statement is cancelled and the engine
+        session rolls back, so a mid-transaction idler cannot pin locks
+        forever."""
+        timeout = self.config.idle_timeout
+        if timeout is None:
+            return
+        now = self.db.clock.now
+        for conn in list(self._connections):
+            if conn.closed_wire or now - conn.last_active < timeout:
+                continue
+            self.connections_reaped += 1
+            self.db.obs.count("sqlcm.service.reaped")
+            conn.closed_wire = True
+            try:
+                conn.writer.close()
+            except RuntimeError:
+                pass
+            self._on_disconnect(conn)
 
     def _settle_statements(self) -> None:
         for conn in list(self._connections):
@@ -387,6 +504,7 @@ class MonitorService:
                                         message=str(err)))
             return
         self.requests_total += 1
+        conn.last_active = self.db.clock.now
         response = self._dispatch(conn, request)
         if response is not _DEFERRED:
             conn.send_response(response)
@@ -396,6 +514,12 @@ class MonitorService:
         if conn.session is None and request.op != "hello":
             return Response(request.id, ok=False, code=E_PROTOCOL,
                             message="handshake required: send 'hello' first")
+        if self.state != "running" and request.op not in (
+                "hello", "ping", "status", "goodbye"):
+            return Response(
+                request.id, ok=False, code=E_RECOVERING,
+                message="monitor is recovering from a restart; retry",
+                retry_after=self.config.tick * 2)
         if handler is None:
             return Response(request.id, ok=False, code=E_UNSUPPORTED,
                             message=f"unknown op {request.op!r}")
@@ -669,6 +793,14 @@ class MonitorService:
             conn.topics.discard(topic)
         return {"topics": sorted(conn.topics)}
 
+    def _op_restart(self, conn: ClientConnection, request: Request) -> dict:
+        if conn.session.user not in self.config.admin_users:
+            raise ServiceError(
+                f"user {conn.session.user!r} may not restart the monitor",
+                code=E_DENIED)
+        self.request_restart()
+        return {"state": "recovering", "restarts": self.restarts}
+
     def _op_cancel(self, conn: ClientConnection, request: Request) -> dict:
         if conn.session.user not in self.config.admin_users:
             raise ServiceError(
@@ -764,6 +896,11 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="probe-driver URL for the monitored backend "
              "(e.g. sqlite:/path/to/app.db); default: the built-in "
              "in-memory engine")
+    parser.add_argument(
+        "--durable", default=None, metavar="DIR",
+        help="durability directory: checkpoint + journal monitor state "
+             "there, recover from it on startup, and allow supervised "
+             "'restart' requests")
     args = parser.parse_args(argv)
 
     if args.driver:
@@ -774,13 +911,29 @@ def serve_main(argv: list[str] | None = None) -> int:
         driver = InMemoryDriver(DatabaseServer(
             ServerConfig(track_completed_queries=True)))
     driver.host.enable_observability()
-    sqlcm = SQLCM(driver=driver)
+    if args.durable:
+        # a previous incarnation's checkpoint + journal (if any) becomes
+        # the starting state; an empty directory starts fresh
+        import os
+
+        from repro.core.durability import DurabilityManager
+        if os.path.isdir(args.durable) and os.listdir(args.durable):
+            report = DurabilityManager.recover(args.durable, driver=driver)
+            sqlcm = report.sqlcm
+            print(f"recovered monitor state from {args.durable} "
+                  f"(generation {report.generation}, "
+                  f"{report.records_replayed} journal records)")
+        else:
+            sqlcm = SQLCM(driver=driver)
+    else:
+        sqlcm = SQLCM(driver=driver)
     if driver.capabilities().in_engine_cost:
         # the governor's feedback loop needs monitoring cost to land in
         # the workload's own timeline; external backends can't offer that
         sqlcm.enable_governor()
     sqlcm.incident_manager()
     service = MonitorService(sqlcm=sqlcm, driver=driver,
+                             durable_dir=args.durable,
                              config=ServiceConfig(
                                  host=args.host, port=args.port))
 

@@ -45,6 +45,8 @@ _SIGNATURE_HINTS = ("logical_signature", "physical_signature",
 
 STREAM_FAULT_SITES = ("stream.eval", "stream.window")
 
+register_fault_sites(*STREAM_FAULT_SITES)
+
 
 class StreamQuery:
     """One registered continuous query: spec + window state + operators."""
@@ -107,10 +109,13 @@ class StreamEngine:
         self._subscribed: set[str] = set()
         self.health = RuleHealthRegistry(quarantine)
         self._in_emit = False
+        # True while durability recovery re-runs journaled flushes: alert
+        # rings and counters rebuild, but the sink-LAT insert and the bus
+        # publish are suppressed (both were journaled separately)
+        self.replaying = False
         self.events_seen = 0
         self.alerts_published = 0
         self.errors = 0
-        register_fault_sites(*STREAM_FAULT_SITES)
 
     # ------------------------------------------------------------------
     # query management
@@ -143,6 +148,8 @@ class StreamEngine:
             self.server.events.subscribe(spec.engine_event, self._on_event)
             self._subscribed.add(spec.engine_event)
         self._sqlcm.invalidate_signature_cache()
+        if self._sqlcm.journal is not None:
+            self._sqlcm.journal.stream_registered(query)
         return query
 
     def deliver(self, event: str, payload: dict) -> None:
@@ -157,6 +164,14 @@ class StreamEngine:
         if self._sqlcm.governor is not None:
             self._sqlcm.governor.forget_stream(query.spec.name)
         self._sqlcm.invalidate_signature_cache()
+        if self._sqlcm.journal is not None:
+            self._sqlcm.journal.stream_removed(query.spec.name)
+
+    def detach(self) -> None:
+        """Unsubscribe from the host bus (supervised restart teardown)."""
+        for event in self._subscribed:
+            self.server.events.unsubscribe(event, self._on_event)
+        self._subscribed.clear()
 
     def query(self, name: str) -> StreamQuery:
         try:
@@ -254,6 +269,14 @@ class StreamEngine:
         if query.next_boundary is None:
             query.next_boundary = spec.window.pane_index(now) + 1
         query.events_ingested += 1
+        journal = self._sqlcm.journal
+        if journal is not None:
+            journal.append("stream_obs", {
+                "stream": query.spec.name,
+                "key": key,
+                "values": values,
+                "time": now,
+            })
         self.health.record_success(query.spec.name)
 
     # ------------------------------------------------------------------
@@ -272,11 +295,18 @@ class StreamEngine:
 
     def _flush(self, now: float) -> None:
         self._in_emit = True
+        advanced = False
         try:
             for query in list(self._queries.values()):
+                before = query.next_boundary
                 self._flush_query(query, now)
+                if query.next_boundary != before:
+                    advanced = True
         finally:
             self._in_emit = False
+        journal = self._sqlcm.journal
+        if journal is not None and advanced and not self.replaying:
+            journal.append("stream_flush", {"time": now})
 
     def _flush_query(self, query: StreamQuery, now: float) -> None:
         if query.next_boundary is None or not query.enabled:
@@ -394,6 +424,11 @@ class StreamEngine:
         query.alert_count += 1
         self.alerts_published += 1
         self.server.obs.count("sqlcm.stream.alerts")
+        if self.replaying:
+            # journal replay: the sink-LAT insert and the downstream
+            # incident cascade were journaled separately (lat_insert /
+            # incident records), so re-driving them here would double-apply
+            return
         governor = self._sqlcm.governor
         if query.sink_lat is not None \
                 and self._sqlcm.has_lat(query.sink_lat) \

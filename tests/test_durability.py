@@ -1,0 +1,360 @@
+"""Crash-safe durability: checkpoints, the journal, and the kill matrix.
+
+Every recovery test follows the same protocol: build a live monitor with
+real subsystems attached (LATs, rules, a stream query, incidents, the
+governor, timers), attach a :class:`DurabilityManager`, run workload,
+*crash* at an injected fault site, and rebuild from disk.
+:class:`DigestTap` records the state digest at every journal group
+commit; :func:`verify_recovery` asserts the rebuilt monitor's digest
+equals the digest at the last commit marker the disk saw — a crash may
+lose the uncommitted tail, nothing more.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro import (DatabaseServer, InsertAction, LATDefinition, Rule,
+                   ServerConfig, ShardedSQLCM, SQLCM)
+from repro.core.actions import CallbackAction
+from repro.core.durability import (DigestTap, DurabilityManager,
+                                   read_journal, verify_recovery)
+from repro.core.resilience import FaultInjected, FaultInjector
+from repro.errors import DurabilityError
+
+#: every crash site the durability layer exposes, in both failure modes
+CRASH_SITES = [
+    ("durability.append", "exception"),
+    ("durability.append", "partial"),
+    ("durability.checkpoint", "exception"),
+    ("durability.checkpoint", "partial"),
+]
+
+#: journal shapes at the moment of the crash
+JOURNAL_STATES = ["empty", "long", "torn"]
+
+
+def build_monitor():
+    """A monitor exercising every journaled subsystem."""
+    server = DatabaseServer(ServerConfig(track_completed_queries=True))
+    server.execute_ddl(
+        "CREATE TABLE items (id INT NOT NULL PRIMARY KEY, "
+        "name VARCHAR(30), price FLOAT)")
+    loader = server.create_session()
+    loader.execute(
+        "INSERT INTO items (id, name, price) VALUES (1, 'a', 1.5), "
+        "(2, 'b', 2.0)")
+    server.close_session(loader)
+    sqlcm = SQLCM(server)
+    sqlcm.set_fault_injector(FaultInjector(seed=7))
+    sqlcm.create_lat(LATDefinition(
+        name="Q_LAT", monitored_class="Query",
+        grouping=["Query.User AS U"],
+        aggregations=["COUNT(Query.ID) AS N",
+                      "AVG(Query.Duration) AS D"]))
+    sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                        actions=[InsertAction("Q_LAT")]))
+    sqlcm.stream_engine().register(
+        "STREAM s1 FROM Query.Commit GROUP BY Query.User AS U "
+        "WINDOW TUMBLING(2) AGG COUNT(*) AS N "
+        "ANOMALY DEVIATION(N, 2, 2)")
+    sqlcm.incident_manager()
+    sqlcm.enable_governor()
+    sqlcm.set_timer("t1", 5.0, 3)
+    return server, sqlcm
+
+
+def work(server, n):
+    """Run n one-query sessions (each commit journals a record group)."""
+    for i in range(n):
+        session = server.create_session(user=f"u{i % 3}")
+        session.execute("SELECT id FROM items WHERE id = 1")
+        server.close_session(session)
+
+
+def attach(target, directory):
+    manager = DurabilityManager(target, str(directory))
+    manager.attach()
+    return manager, DigestTap(manager)
+
+
+def tear_tail(manager):
+    """Simulate a torn OS write: half a line lands at the journal tail."""
+    with open(manager.journal.path, "a", encoding="utf-8") as handle:
+        handle.write("c0ffee00 (999, 'counts', Tru")
+
+
+def crash(manager, sqlcm, server, site, mode):
+    """Kill the monitor at ``site``; nothing after this reaches the disk."""
+    sqlcm.faults.fail_next(site, mode=mode)
+    if site == "durability.checkpoint":
+        with pytest.raises(FaultInjected):
+            manager.checkpoint()
+    else:
+        work(server, 4)  # the first journal append dies
+        assert manager.journal.dead
+
+
+# ---------------------------------------------------------------------------
+# journal file format
+# ---------------------------------------------------------------------------
+
+def _line(seq, kind, commit, time, data):
+    payload = repr((seq, kind, commit, time, data))
+    return f"{zlib.crc32(payload.encode('utf-8')):08x} {payload}\n"
+
+
+class TestJournalFormat:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "nope.wal")) == ([], 0)
+
+    def test_torn_tail_and_uncommitted_group_discarded(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text(
+            _line(1, "counts", True, 1.0, {"events": 1})
+            + _line(2, "lat_insert", False, 2.0, {"lat": "L"})
+            + _line(3, "counts", True, 3.0, {"events": 2})[:20],
+            encoding="utf-8")
+        records, discarded = read_journal(str(path))
+        assert [r.seq for r in records] == [1]
+        assert discarded == 2  # the uncommitted record + the torn line
+
+    def test_bit_flip_stops_the_read(self, tmp_path):
+        good = _line(1, "counts", True, 1.0, {"events": 1})
+        bad = _line(2, "counts", True, 2.0, {"events": 2})
+        bad = bad.replace("counts", "c0unts", 1)  # payload no longer matches CRC
+        after = _line(3, "counts", True, 3.0, {"events": 3})
+        path = tmp_path / "j.wal"
+        path.write_text(good + bad + after, encoding="utf-8")
+        records, discarded = read_journal(str(path))
+        assert [r.seq for r in records] == [1]
+        assert discarded == 1
+
+    def test_group_commit_semantics(self, tmp_path, server):
+        """Mid-dispatch records stay uncommitted until the counts marker."""
+        sqlcm = SQLCM(server)
+        sqlcm.create_lat(LATDefinition(
+            name="L", grouping=["Query.User AS U"],
+            aggregations=["COUNT(Query.ID) AS N"]))
+        sqlcm.add_rule(Rule(name="track", event="Query.Commit",
+                            actions=[InsertAction("L")]))
+        manager, __ = attach(sqlcm, tmp_path)
+        session = server.create_session(user="u1")
+        session.execute("SELECT 1")
+        server.close_session(session)
+        manager.detach()
+        records, discarded = read_journal(manager.journal.path)
+        assert discarded == 0
+        groups = [r.kind for r in records if r.commit]
+        assert groups, "expected at least one commit marker"
+        assert all(r.kind == "counts" for r in records if r.commit)
+        assert any(r.kind == "lat_insert" and not r.commit for r in records)
+
+
+# ---------------------------------------------------------------------------
+# atomic checkpoints
+# ---------------------------------------------------------------------------
+
+class TestAtomicCheckpoint:
+    def test_exception_fault_publishes_nothing(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, tap = attach(sqlcm, tmp_path)  # generation 1
+        work(server, 8)
+        sqlcm.faults.fail_next("durability.checkpoint")
+        with pytest.raises(FaultInjected):
+            manager.checkpoint()
+        assert not list(tmp_path.glob("checkpoint-0002.ckpt"))
+        assert not list(tmp_path.glob("*.tmp"))  # temp never leaks
+        report = verify_recovery(str(tmp_path), tap)
+        assert report.generation == 1
+        assert report.records_replayed > 0
+
+    def test_partial_fault_falls_back_a_generation(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, tap = attach(sqlcm, tmp_path)  # generation 1
+        work(server, 8)
+        manager.checkpoint()                    # generation 2 (good)
+        work(server, 6)
+        sqlcm.faults.fail_next("durability.checkpoint", mode="partial")
+        with pytest.raises(FaultInjected):
+            manager.checkpoint()                # generation 3 lands torn
+        names = {p.name for p in tmp_path.glob("checkpoint-*.ckpt")}
+        assert "checkpoint-0003.ckpt" in names  # the torn file is visible
+        report = verify_recovery(str(tmp_path), tap)
+        assert report.generation == 2           # CRC-rejected gen 3
+        assert report.records_replayed > 0      # gen 2's journal replayed
+
+    def test_generations_pruned_to_last_two(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, __ = attach(sqlcm, tmp_path)   # generation 1
+        for __ in range(4):
+            work(server, 3)
+            manager.checkpoint()                # generations 2..5
+        names = sorted(p.name for p in tmp_path.glob("checkpoint-*.ckpt"))
+        assert names == ["checkpoint-0004.ckpt", "checkpoint-0005.ckpt"]
+
+    def test_checkpoint_rotates_the_journal(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, __ = attach(sqlcm, tmp_path)
+        work(server, 5)
+        old_path = manager.journal.path
+        manager.checkpoint()
+        assert manager.journal.path != old_path
+        assert manager.journal.records_written == 0 or \
+            manager.journal.path.endswith("journal-0002.wal")
+
+
+# ---------------------------------------------------------------------------
+# clean recovery
+# ---------------------------------------------------------------------------
+
+class TestCleanRecovery:
+    def test_clean_kill_restores_exact_digest(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, tap = attach(sqlcm, tmp_path)
+        work(server, 20)
+        server.clock.advance(10.0)
+        work(server, 5)
+        report = verify_recovery(str(tmp_path), tap)
+        assert report.records_discarded == 0
+        report.sqlcm.server.clock.advance_to(server.clock.now)
+        assert report.sqlcm.state_digest() == sqlcm.state_digest()
+
+    def test_recover_twice_is_bit_stable(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, tap = attach(sqlcm, tmp_path)
+        work(server, 12)
+        first = verify_recovery(str(tmp_path), tap)
+        second = verify_recovery(str(tmp_path), tap)
+        assert first.sqlcm.state_digest() == second.sqlcm.state_digest()
+        assert first.records_replayed == second.records_replayed
+
+    def test_detached_journal_recovers_without_discards(self, tmp_path):
+        server, sqlcm = build_monitor()
+        manager, tap = attach(sqlcm, tmp_path)
+        work(server, 10)
+        manager.detach()  # clean shutdown: journal closed mid-generation
+        report = verify_recovery(str(tmp_path), tap)
+        assert report.records_discarded == 0
+        assert report.records_replayed > 0
+
+
+# ---------------------------------------------------------------------------
+# the kill matrix: every crash site x every journal shape
+# ---------------------------------------------------------------------------
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("state", JOURNAL_STATES)
+    @pytest.mark.parametrize("site,mode", CRASH_SITES)
+    def test_serial_recovery_digest(self, tmp_path, site, mode, state):
+        server, sqlcm = build_monitor()
+        manager, tap = attach(sqlcm, tmp_path)
+        if state != "empty":
+            work(server, 20)
+            server.clock.advance(10.0)
+            work(server, 5)
+        crash(manager, sqlcm, server, site, mode)
+        if state == "torn":
+            tear_tail(manager)
+        report = verify_recovery(str(tmp_path), tap)
+        if state != "empty":
+            assert report.records_replayed > 0
+        if state == "torn" or (site == "durability.append"
+                               and mode == "partial"):
+            assert report.records_discarded >= 1
+
+
+class TestShardedCrashMatrix:
+    def _facade(self, n_shards=3):
+        server = DatabaseServer(ServerConfig(track_completed_queries=True))
+        server.execute_ddl("CREATE TABLE items (id INT PRIMARY KEY, v INT)")
+        facade = ShardedSQLCM(server, n_shards=n_shards)
+        facade.create_lat(LATDefinition(
+            name="Q_LAT", monitored_class="Query",
+            grouping=["Query.ID AS Qid"],
+            aggregations=["AVG(Query.Duration) AS D",
+                          "COUNT(Query.ID) AS N"]))
+        facade.add_rule(Rule(name="track", event="Query.Commit",
+                             actions=[InsertAction("Q_LAT")]))
+        facade.shards[0].sqlcm.set_fault_injector(FaultInjector(seed=7))
+        return server, facade
+
+    def _drive(self, server, statements, base=0):
+        session = server.create_session(user="u1")
+        script = []
+        for i in range(base, base + statements):
+            script.append(f"INSERT INTO items VALUES ({i}, {i * 2})")
+            script.append(f"SELECT v FROM items WHERE id = {i}")
+        proc = session.submit_script(script)
+        server.scheduler.run_until_done(proc)
+
+    def test_clean_sharded_recovery(self, tmp_path):
+        server, facade = self._facade()
+        manager, tap = attach(facade, tmp_path)
+        self._drive(server, 25)
+        report = verify_recovery(str(tmp_path), tap)
+        assert report.records_replayed > 0
+        assert report.records_discarded == 0
+
+    @pytest.mark.parametrize("state", JOURNAL_STATES)
+    @pytest.mark.parametrize("site,mode", CRASH_SITES)
+    def test_sharded_recovery_digest(self, tmp_path, site, mode, state):
+        server, facade = self._facade()
+        manager, tap = attach(facade, tmp_path)
+        control = facade.shards[0].sqlcm
+        if state != "empty":
+            self._drive(server, 15)
+        control.faults.fail_next(site, mode=mode)
+        if site == "durability.checkpoint":
+            with pytest.raises(FaultInjected):
+                manager.checkpoint()
+        else:
+            self._drive(server, 5, base=100)
+            assert manager.journal.dead
+        if state == "torn":
+            tear_tail(manager)
+        report = verify_recovery(str(tmp_path), tap)
+        if state != "empty":
+            assert report.records_replayed > 0
+
+
+# ---------------------------------------------------------------------------
+# what cannot round-trip: pure-callback rules need the setup hook
+# ---------------------------------------------------------------------------
+
+class TestCallbackRules:
+    @staticmethod
+    def _cb_rule(sink):
+        return Rule(name="cb", event="Query.Commit",
+                    actions=[CallbackAction(
+                        lambda monitor, context: sink.append(1))])
+
+    def test_recovery_without_setup_detects_the_gap(self, tmp_path):
+        server, sqlcm = build_monitor()
+        fired: list[int] = []
+        sqlcm.add_rule(self._cb_rule(fired))
+        manager, tap = attach(sqlcm, tmp_path)
+        work(server, 6)
+        assert fired
+        with pytest.raises(DurabilityError):
+            verify_recovery(str(tmp_path), tap)
+
+    def test_setup_hook_restores_digest_equality(self, tmp_path):
+        server, sqlcm = build_monitor()
+        fired: list[int] = []
+        sqlcm.add_rule(self._cb_rule(fired))
+        manager, tap = attach(sqlcm, tmp_path)
+        work(server, 6)
+        report = verify_recovery(
+            str(tmp_path), tap,
+            setup=lambda monitor: monitor.add_rule(self._cb_rule(fired)))
+        assert "cb" not in report.placeholder_rules
+
+    def test_skipped_rules_are_reported(self, tmp_path):
+        server, sqlcm = build_monitor()
+        sqlcm.add_rule(self._cb_rule([]))
+        manager, tap = attach(sqlcm, tmp_path)
+        report = DurabilityManager.recover(str(tmp_path))
+        assert "cb" in report.placeholder_rules

@@ -40,6 +40,9 @@ def test_sources_actually_use_fault_sites():
     assert used, "no check_fault call sites found under src/"
     assert "chaos.workload" in used
     assert "chaos.scenario" in used
+    # the durability crash points (checkpoint + journal) must stay live
+    assert "durability.checkpoint" in used
+    assert "durability.append" in used
 
 
 def test_every_used_site_is_registered():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import (InsertAction, LATDefinition, PersistAction, Rule, SQLCM)
-from repro.errors import ActionError
+from repro.errors import ActionError, PersistCorruptionError
 
 
 @pytest.fixture
@@ -126,6 +126,46 @@ class TestPersistLAT:
         sqlcm.restore_lat("App_LAT", "snap")
         _run(server, "SELECT id FROM items WHERE id = 1")
         assert sqlcm.lat("App_LAT").rows()[0]["N"] == 5
+
+    def test_corrupt_restore_leaves_live_lat_unchanged(self, monitored):
+        """Atomicity: a failed restore must not touch the in-memory LAT."""
+        server, sqlcm = monitored
+        self._lat(sqlcm)
+        for __ in range(2):
+            _run(server, "SELECT id FROM items WHERE id = 1")
+        sqlcm.persist_lat("App_LAT", "snap")
+        table = server.table("snap")
+        rowid = next(iter(table.scan()))[0]
+        table.update(rowid, {1: 999})  # flip N behind the checksum
+        for __ in range(3):  # live LAT moves past the snapshot
+            _run(server, "SELECT id FROM items WHERE id = 1")
+        before = sqlcm.lat("App_LAT").rows()
+        with pytest.raises(PersistCorruptionError):
+            sqlcm.restore_lat("App_LAT", "snap")
+        # neither reset to empty nor half-swapped to the snapshot's 999
+        assert sqlcm.lat("App_LAT").rows() == before
+
+    def test_decode_failure_mid_seed_leaves_live_lat_unchanged(
+            self, monitored):
+        """Rows seed into a scratch LAT; the swap is all-or-nothing."""
+        server, sqlcm = monitored
+        self._lat(sqlcm)
+        for app in ("alpha", "beta"):
+            session = server.create_session(application=app)
+            session.execute("SELECT id FROM items WHERE id = 1")
+            server.close_session(session)
+        sqlcm.persist_lat("App_LAT", "snap")
+        table = server.table("snap")
+        rows = list(table.scan())
+        assert len(rows) == 2
+        # poison the second row in place (a torn write the checksum cannot
+        # see, restored with validate=False): the first row seeds cleanly,
+        # the second must abort the whole swap
+        table._rows[rows[1][0]][1] = "bogus"
+        before = sqlcm.lat("App_LAT").rows()
+        with pytest.raises((TypeError, ValueError)):
+            sqlcm.restore_lat("App_LAT", "snap", validate=False)
+        assert sqlcm.lat("App_LAT").rows() == before
 
     def test_persist_via_rule_action(self, monitored):
         server, sqlcm = monitored

@@ -25,7 +25,8 @@ from repro.core.governor import (BEST_EFFORT, CRITICAL, GOV_ESSENTIAL,
 from repro.errors import ProtocolError, ServiceError
 from repro.service.protocol import (E_AUTH, E_BAD_REQUEST, E_DENIED,
                                     E_OVERLOADED, E_PARSE, E_PROTOCOL,
-                                    E_SQL, E_UNSUPPORTED, PROTOCOL_VERSION,
+                                    E_RECOVERING, E_SQL, E_UNSUPPORTED,
+                                    PROTOCOL_VERSION,
                                     Push, Response, decode_frame,
                                     encode_frame, jsonable, parse_request,
                                     parse_server_frame)
@@ -740,3 +741,167 @@ class TestBlockingStormEndToEnd:
                 # the investigation story is reachable for the incident
                 story = admin.investigate(blocking[0]["id"])
                 assert story["timeline"]
+
+
+# ---------------------------------------------------------------------------
+# idle-connection reaping (satellite)
+# ---------------------------------------------------------------------------
+
+class TestIdleReap:
+    def test_mid_transaction_idler_is_reaped_and_rolled_back(self):
+        svc = build_service(idle_timeout=1.0)
+        with ServiceRunner(svc):
+            with connect(svc, user="bob") as bob:
+                bob.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+                bob.sql("INSERT INTO t (id, v) VALUES (1, 10)")
+                alice = connect(svc, user="alice")
+                alice.sql("BEGIN")
+                alice.sql("UPDATE t SET v = 99 WHERE id = 1")
+                session_id = alice.session_id
+                # alice goes silent; bob heartbeats so only alice idles out
+                deadline = time.monotonic() + WAIT
+                while svc.db.session(session_id) is not None \
+                        and time.monotonic() < deadline:
+                    bob.ping()
+                    time.sleep(0.005)
+                assert svc.db.session(session_id) is None
+                assert svc.connections_reaped == 1
+                counters = bob.metrics()["metrics"]["counters"]
+                assert counters.get("sqlcm.service.reaped") == 1
+                # the reap tore the transaction down: bob is not blocked
+                # and the abandoned update was rolled back, not committed
+                out = bob.sql("UPDATE t SET v = 5 WHERE id = 1")
+                assert out["rows_affected"] == 1
+                assert bob.sql("SELECT v FROM t")["rows"] == [[5]]
+
+    def test_ping_heartbeat_prevents_reap(self):
+        svc = build_service(idle_timeout=5.0)
+        with ServiceRunner(svc):
+            with connect(svc) as client:
+                start = svc.db.clock.now
+                while svc.db.clock.now - start < 12.0:  # > 2x the timeout
+                    client.ping()
+                    time.sleep(0.005)
+                assert svc.connections_reaped == 0
+                assert client.status()["service"]["connections"] == 1
+
+    def test_no_timeout_means_no_reaping(self):
+        svc = build_service()  # idle_timeout defaults to None
+        with ServiceRunner(svc):
+            with connect(svc) as busy:
+                idler = connect(svc)
+                idler.ping()
+                start = svc.db.clock.now
+                while svc.db.clock.now - start < 5.0:
+                    busy.ping()
+                    time.sleep(0.005)
+                assert svc.connections_reaped == 0
+                assert idler.status()["service"]["connections"] == 2
+
+
+# ---------------------------------------------------------------------------
+# supervised restart: rebuild the monitor, keep the listener
+# ---------------------------------------------------------------------------
+
+def build_durable_service(directory, incidents=False,
+                          **kwargs) -> MonitorService:
+    db = DatabaseServer(ServerConfig(track_completed_queries=True))
+    db.enable_observability()
+    sqlcm = SQLCM(db)
+    if incidents:
+        # enabled before the service attaches durability, so the manager
+        # is part of checkpoint generation 1 and every recovery
+        sqlcm.incident_manager(IncidentPolicy(
+            sweep_interval=0.1, clear_after=0.3, escalation_timeout=1e9))
+    return MonitorService(db, sqlcm, ServiceConfig(**kwargs),
+                          durable_dir=str(directory))
+
+
+class TestSupervisedRestart:
+    def test_restart_preserves_state_and_sockets(self, tmp_path):
+        svc = build_durable_service(tmp_path)
+        with ServiceRunner(svc):
+            with connect(svc, user="admin") as admin:
+                admin.install_lat("D_LAT", grouping=["Query.User AS U"],
+                                  aggregations=["COUNT(Query.ID) AS N"])
+                admin.install_rule(
+                    "track", event="Query.Commit",
+                    actions=[{"type": "insert", "lat": "D_LAT"}])
+                admin.sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+                admin.sql("INSERT INTO t (id) VALUES (1)")
+                old_monitor = svc.sqlcm
+                digest = old_monitor.state_digest()
+                out = admin.call("restart")
+                assert out["state"] == "recovering"
+                assert wait_until(lambda: svc.restarts == 1
+                                  and svc.state == "running")
+                # a genuinely new monitor, carrying the exact old state
+                assert svc.sqlcm is not old_monitor
+                assert svc.sqlcm.state_digest() == digest
+                n_before = svc.sqlcm.lat("D_LAT").rows()[0]["N"]
+                # same socket, no re-handshake: requests flow again and
+                # keep feeding the rebuilt monitor's rules
+                assert admin.sql("SELECT id FROM t")["rows"] == [[1]]
+                assert svc.sqlcm.lat("D_LAT").rows()[0]["N"] \
+                    == n_before + 1
+                status = admin.status()["service"]
+                assert status["state"] == "running"
+                assert status["restarts"] == 1
+
+    def test_requests_during_recovery_get_recovering_code(self, tmp_path):
+        svc = build_durable_service(tmp_path)
+        with ServiceRunner(svc):
+            with connect(svc) as client:
+                client.sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+                client.sql("INSERT INTO t (id) VALUES (1)")
+                svc.state = "recovering"  # hold the gate deterministically
+                try:
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.sql("SELECT id FROM t")
+                    assert excinfo.value.code == E_RECOVERING
+                    assert excinfo.value.retry_after is not None
+                    client.ping()  # heartbeats pass the gate
+                    assert client.status()["service"]["state"] \
+                        == "recovering"
+                finally:
+                    svc.state = "running"
+                assert client.sql("SELECT id FROM t")["rows"] == [[1]]
+
+    def test_subscriptions_resume_after_restart(self, tmp_path):
+        svc = build_durable_service(tmp_path, incidents=True)
+        with ServiceRunner(svc):
+            with connect(svc, user="admin") as admin:
+                admin.subscribe("incident")
+                admin.install_rule(
+                    "hot", event="Query.Commit",
+                    actions=[{"type": "open_incident",
+                              "incident_class": "test",
+                              "signature": "storm"}])
+                admin.sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+                admin.sql("INSERT INTO t (id) VALUES (1)")
+                opened = admin.wait_push(timeout=WAIT, topic="incident")
+                assert opened.data["phase"] == "opened"
+                admin.drain_pushes()
+                admin.call("restart")
+                assert wait_until(lambda: svc.restarts == 1
+                                  and svc.state == "running")
+                # the standing subscription delivers pushes from the
+                # rebuilt monitor without re-subscribing
+                admin.sql("INSERT INTO t (id) VALUES (2)")
+                push = admin.wait_push(timeout=WAIT, topic="incident")
+                assert push.topic == "incident"
+
+    def test_restart_requires_durability_and_admin(self, tmp_path):
+        svc = build_service()  # no durability directory
+        with ServiceRunner(svc):
+            with connect(svc, user="admin") as admin:
+                with pytest.raises(ServiceError) as excinfo:
+                    admin.call("restart")
+                assert excinfo.value.code == E_BAD_REQUEST
+        durable = build_durable_service(tmp_path)
+        with ServiceRunner(durable):
+            with connect(durable, user="mallory") as mallory:
+                with pytest.raises(ServiceError) as excinfo:
+                    mallory.call("restart")
+                assert excinfo.value.code == E_DENIED
+            assert durable.restarts == 0
